@@ -1,0 +1,82 @@
+// Command figures regenerates every figure artifact into a directory:
+// the Fig. 3 roofline SVG, the strong-scaling chart, and a phase
+// timeline from a detailed simulation.
+//
+// Usage:
+//
+//	figures -out figs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/viz"
+	"xmtfft/internal/xmt"
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory")
+	tcus := flag.Int("tcus", 512, "machine size for the detailed timeline run")
+	n := flag.Int("n", 16, "cube size for the detailed timeline run")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, render func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	write("fig3-roofline.svg", func(f *os.File) error { return viz.Fig3SVG(f) })
+	write("strong-scaling.svg", func(f *os.File) error { return viz.ScalingSVG(f) })
+	write("weak-scaling.svg", func(f *os.File) error { return viz.WeakScalingSVG(f) })
+
+	// Detailed run for the timeline.
+	cfg, err := config.FourK().Scaled(*tcus)
+	if err != nil {
+		fatal(err)
+	}
+	run, err := newMachineRun(cfg, *n)
+	if err != nil {
+		fatal(err)
+	}
+	write("phase-timeline.svg", func(f *os.File) error { return viz.TimelineSVG(f, run) })
+}
+
+func newMachineRun(cfg config.Config, n int) (run stats.Run, err error) {
+	machine, err := xmt.New(cfg)
+	if err != nil {
+		return run, err
+	}
+	tr, err := core.New3D(machine, n, n, n)
+	if err != nil {
+		return run, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := range tr.Data {
+		tr.Data[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return tr.Run(fft.Forward)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command roofline regenerates Fig. 3: the Roofline model of each XMT
+// configuration with the empirical rotation / non-rotation / overall
+// markers for the 512³ 3D FFT.
+//
+// Usage:
+//
+//	roofline              # human-readable
+//	roofline -csv         # CSV series for plotting
+//	roofline -svg fig3.svg    # render the figure as SVG
+//	roofline -scaling s.svg   # render the strong-scaling chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmtfft/internal/harness"
+	"xmtfft/internal/viz"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	svg := flag.String("svg", "", "write Fig. 3 as SVG to this path")
+	scaling := flag.String("scaling", "", "write the strong-scaling chart as SVG to this path")
+	flag.Parse()
+
+	writeSVG := func(path string, render func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	if *svg != "" {
+		writeSVG(*svg, func(f *os.File) error { return viz.Fig3SVG(f) })
+		return
+	}
+	if *scaling != "" {
+		writeSVG(*scaling, func(f *os.File) error { return viz.ScalingSVG(f) })
+		return
+	}
+
+	var err error
+	if *csv {
+		err = harness.Fig3CSV(os.Stdout)
+	} else {
+		err = harness.Fig3(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roofline:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Command xmtbench runs the design-choice ablations of §IV-A on the
+// detailed simulator and prints them as one table: radix (2/4/8),
+// granularity (fine vs coarse), and the prefetcher enhancement.
+//
+// Usage:
+//
+//	xmtbench                  # defaults: 4k scaled to 512 TCUs, 16^3
+//	xmtbench -tcus 1024 -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmtfft/internal/harness"
+)
+
+func main() {
+	tcus := flag.Int("tcus", 512, "machine size in TCUs (scaled 4k configuration)")
+	n := flag.Int("n", 16, "points per dimension (power of two)")
+	flag.Parse()
+
+	if err := harness.AblationReport(os.Stdout, *tcus, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "xmtbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Command xmtcc compiles and runs XMTC programs (the C-like parallel
+// language of the XMT project: spawn blocks, $ thread ids and the
+// ps(counter, delta) prefix-sum builtin) on the simulated machine.
+//
+// Usage:
+//
+//	xmtcc prog.xc              # compile + run, print globals
+//	xmtcc -S prog.xc           # emit ISA assembly
+//	xmtcc -tcus 1024 prog.xc
+//
+// With no file, a built-in demo (histogram via ps counters) runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/xmt"
+	"xmtfft/internal/xmtc"
+)
+
+const demo = `
+// Histogram of values into 4 buckets using one ps counter per bucket.
+int data[256];
+int c0; int c1; int c2; int c3;
+main {
+  int i = 0;
+  while (i < 256) {
+    data[i] = (i * 7 + 3) % 4;
+    i = i + 1;
+  }
+  spawn (256) {
+    int v = data[$];
+    if (v == 0) { ps(0, 1); }
+    else if (v == 1) { ps(1, 1); }
+    else if (v == 2) { ps(2, 1); }
+    else { ps(3, 1); }
+  }
+  c0 = ps(0, 0);
+  c1 = ps(1, 0);
+  c2 = ps(2, 0);
+  c3 = ps(3, 0);
+}
+`
+
+func main() {
+	tcus := flag.Int("tcus", 256, "machine size in TCUs (scaled 4k configuration)")
+	emit := flag.Bool("S", false, "emit ISA assembly instead of running")
+	extra := flag.Int("mem", 1<<16, "extra shared memory bytes beyond globals")
+	flag.Parse()
+
+	src := demo
+	if flag.NArg() > 0 {
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+
+	c, err := xmtc.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *emit {
+		fmt.Print(c.Program.Disassemble())
+		return
+	}
+
+	cfg, err := config.FourK().Scaled(*tcus)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	vm, cycles, err := c.Run(m, *extra, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("machine: %s\n", cfg)
+	fmt.Printf("cycles: %d (%d serial + %d thread instructions, %d threads)\n",
+		cycles, vm.SerialInstrs, vm.ThreadInstrs, m.Counters.Threads)
+	fmt.Println("globals:")
+	names := make([]string, 0, len(c.Symbols))
+	for n := range c.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sym := c.Symbols[n]
+		if sym.ArrayLen > 0 {
+			fmt.Printf("  %-12s %s[%d] at %d\n", n, sym.Type, sym.ArrayLen, sym.Addr)
+			continue
+		}
+		if sym.Type == xmtc.TInt {
+			fmt.Printf("  %-12s = %d\n", n, vm.LoadWord(sym.Addr))
+		} else {
+			fmt.Printf("  %-12s = %g\n", n, vm.LoadFloat(sym.Addr))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtcc:", err)
+	os.Exit(1)
+}

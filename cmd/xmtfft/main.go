@@ -1,0 +1,145 @@
+// Command xmtfft runs a single-precision FFT on a simulated XMT machine
+// and reports cycles, per-phase breakdown and GFLOPS. Two modes:
+//
+//   - detailed (default): event-driven simulation of a (scaled) machine
+//     executing the real kernel at a tractable size;
+//   - -model: the analytic projection used for the paper-scale results.
+//
+// Examples:
+//
+//	xmtfft -config 4k -tcus 1024 -n 32 -dims 3
+//	xmtfft -config "128k x4" -model -n 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/model"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/viz"
+	"xmtfft/internal/xmt"
+)
+
+func main() {
+	cfgName := flag.String("config", "4k", `configuration: "4k", "8k", "64k", "128k x2", "128k x4"`)
+	tcus := flag.Int("tcus", 0, "scale the machine down to this many TCUs for detailed simulation (0 = full size)")
+	n := flag.Int("n", 32, "points per dimension (power of two)")
+	dims := flag.Int("dims", 3, "1, 2 or 3 dimensions")
+	useModel := flag.Bool("model", false, "use the analytic projection instead of detailed simulation")
+	coarse := flag.Bool("coarse", false, "coarse-grained kernel (one thread per row) instead of fine-grained")
+	radix := flag.Int("radix", 0, "force a fixed pass radix (2, 4 or 8; 0 = greedy radix-8)")
+	verbose := flag.Bool("v", false, "print per-phase breakdown")
+	jsonOut := flag.String("json", "", "write the per-phase record as JSON to this path")
+	csvOut := flag.String("csv", "", "write the per-phase record as CSV to this path")
+	timeline := flag.String("timeline", "", "write a phase-timeline SVG to this path")
+	flag.Parse()
+
+	cfg, err := config.ByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *useModel {
+		if *dims != 3 {
+			fatal(fmt.Errorf("the analytic model covers 3D transforms"))
+		}
+		p, err := model.Project3D(cfg, *n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analytic projection: %s, %d^3 single-precision complex 3D FFT\n", cfg, *n)
+		fmt.Printf("  time %.4g s  |  %.0f GFLOPS (5NlogN convention)\n", p.Overall.TimeSec, p.GFLOPS)
+		for _, ph := range []model.PhasePoint{p.Stream, p.Rotation, p.Overall} {
+			fmt.Printf("  %-12s %8.4g s  %9.0f GFLOPS actual  intensity %.3f FLOPs/B\n",
+				ph.Name, ph.TimeSec, ph.ActualGFLOPS, ph.Intensity)
+		}
+		return
+	}
+
+	if *tcus != 0 {
+		if cfg, err = cfg.Scaled(*tcus); err != nil {
+			fatal(err)
+		}
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *core.Transform
+	switch *dims {
+	case 1:
+		tr, err = core.New1D(m, *n)
+	case 2:
+		tr, err = core.New2D(m, *n, *n)
+	case 3:
+		tr, err = core.New3D(m, *n, *n, *n)
+	default:
+		err = fmt.Errorf("dims must be 1, 2 or 3")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *radix != 0 {
+		if err := tr.SetFixedRadix(*radix); err != nil {
+			fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := range tr.Data {
+		tr.Data[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+
+	before := m.Snapshot()
+	var run stats.Run
+	if *coarse {
+		run, err = tr.RunCoarse(fft.Forward)
+	} else {
+		run, err = tr.Run(fft.Forward)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	util := m.UtilizationSince(before)
+	cycles := run.TotalCycles()
+	total := tr.N()
+	fmt.Printf("detailed simulation: %s\n", cfg)
+	fmt.Printf("  %dD FFT, %d points: %d cycles (%.4g s at %.1f GHz)\n",
+		*dims, total, cycles, stats.Seconds(cycles, config.ClockGHz), config.ClockGHz)
+	fmt.Printf("  %.2f GFLOPS (5NlogN convention), %.2f GFLOPS actual\n",
+		stats.StandardGFLOPS(total, cycles, config.ClockGHz), run.GFLOPS(config.ClockGHz))
+	ops := run.TotalOps()
+	fmt.Printf("  ops: %d flops, %d loads, %d stores, %d threads, cache hit rate %.1f%%, DRAM %d bytes\n",
+		ops.FPOps, ops.Loads, ops.Stores, ops.Threads, ops.HitRate()*100, ops.DRAMBytes)
+	fmt.Printf("  utilization: FPU %.0f%%, LSU %.0f%%, DRAM %.0f%%\n", util.FPU*100, util.LSU*100, util.DRAM*100)
+	if *verbose {
+		fmt.Print(run.String())
+	}
+	writeFile := func(path string, f func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		if err := f(fh); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	writeFile(*jsonOut, func(f *os.File) error { return run.WriteJSON(f) })
+	writeFile(*csvOut, func(f *os.File) error { return run.WriteCSV(f) })
+	writeFile(*timeline, func(f *os.File) error { return viz.TimelineSVG(f, run) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtfft:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package xmtfft reproduces "FFT on XMT: Case Study of a
+// Bandwidth-Intensive Regular Algorithm on a Highly-Parallel Many Core"
+// (Edwards and Vishkin, 2016) as a Go library: an event-driven simulator
+// of the XMT many-core architecture, the paper's fine-grained radix-8
+// decimation-in-frequency FFT kernel, a host FFT library, an analytic
+// Roofline/projection model, and a harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-reproduced numbers. The package root
+// hosts the benchmark suite (bench_test.go); the implementation lives
+// under internal/ and the runnable entry points under cmd/ and
+// examples/.
+package xmtfft

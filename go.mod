@@ -1,0 +1,3 @@
+module xmtfft
+
+go 1.22

@@ -1,0 +1,173 @@
+// Cross-package integration tests: the same FFT computed through every
+// layer of the stack — host library, micro-op kernel on the simulated
+// machine, and XMTC source compiled to the ISA — must agree; and the
+// reporting pipeline must run end to end.
+package xmtfft_test
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/harness"
+	"xmtfft/internal/isa"
+	"xmtfft/internal/viz"
+	"xmtfft/internal/xmt"
+	"xmtfft/internal/xmtc"
+)
+
+// xmtcFFT1D returns XMTC source for an n-point radix-2 Stockham FFT.
+func xmtcFFT1D(n int) string { return xmtc.FFT1DSource(n) }
+
+// TestThreeWayFFTAgreement runs one 64-point transform through all
+// three execution paths and cross-checks the spectra.
+func TestThreeWayFFTAgreement(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	input := make([]complex64, n)
+	for i := range input {
+		input[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+
+	// Path 1: host library.
+	host := append([]complex64(nil), input...)
+	plan, err := fft.NewPlan[complex64](n, fft.WithNorm(fft.NormNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Transform(host, fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 2: micro-op kernel on the simulated machine.
+	cfg, err := config.FourK().Scaled(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.New1D(m1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(tr.Data, input)
+	if _, err := tr.Run(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 3: XMTC program compiled to the ISA.
+	compiled, err := xmtc.Compile(xmtcFFT1D(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _, err := compiled.Run(m2, 0, func(vm *isa.VM) {
+		reA := compiled.Symbols["re"].Addr
+		imA := compiled.Symbols["im"].Addr
+		wre := compiled.Symbols["wre"].Addr
+		wim := compiled.Symbols["wim"].Addr
+		for i := 0; i < n; i++ {
+			vm.StoreFloat(reA+i*4, real(input[i]))
+			vm.StoreFloat(imA+i*4, imag(input[i]))
+			s, c := math.Sincos(-2 * math.Pi * float64(i) / n)
+			vm.StoreFloat(wre+i*4, float32(c))
+			vm.StoreFloat(wim+i*4, float32(s))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reA := compiled.Symbols["re"].Addr
+	imA := compiled.Symbols["im"].Addr
+	var worstKernel, worstXMTC float64
+	for k := 0; k < n; k++ {
+		ref := complex128(host[k])
+		if d := cmplx.Abs(complex128(tr.Data[k]) - ref); d > worstKernel {
+			worstKernel = d
+		}
+		got := complex(float64(vm.LoadFloat(reA+k*4)), float64(vm.LoadFloat(imA+k*4)))
+		if d := cmplx.Abs(got - ref); d > worstXMTC {
+			worstXMTC = d
+		}
+	}
+	scale := math.Sqrt(float64(n))
+	if worstKernel > 1e-3*scale {
+		t.Errorf("kernel vs host worst error %g", worstKernel)
+	}
+	if worstXMTC > 1e-3*scale {
+		t.Errorf("XMTC vs host worst error %g", worstXMTC)
+	}
+}
+
+// TestReportingPipeline exercises harness rendering plus both figure
+// renderers end to end.
+func TestReportingPipeline(t *testing.T) {
+	var all bytes.Buffer
+	if err := harness.All(&all); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TABLE IV", "FIG. 3", "WEAK SCALING"} {
+		if !strings.Contains(all.String(), want) {
+			t.Errorf("harness.All missing %q", want)
+		}
+	}
+	var svg bytes.Buffer
+	if err := viz.Fig3SVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg.String(), "<svg") {
+		t.Error("Fig3SVG did not produce SVG")
+	}
+}
+
+// TestSimulatedRunExportsEverywhere runs one detailed simulation and
+// pushes its record through every exporter.
+func TestSimulatedRunExportsEverywhere(t *testing.T) {
+	cfg, err := config.FourK().Scaled(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.New3D(m, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Data {
+		tr.Data[i] = complex(float32(i%5), float32(i%3))
+	}
+	run, err := tr.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, c, s bytes.Buffer
+	if err := run.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := viz.TimelineSVG(&s, run); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() == 0 || c.Len() == 0 || s.Len() == 0 {
+		t.Error("an exporter produced no output")
+	}
+	if !strings.Contains(c.String(), "rotate r0") {
+		t.Error("CSV missing rotation phase")
+	}
+}

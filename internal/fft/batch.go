@@ -1,0 +1,70 @@
+package fft
+
+import "fmt"
+
+// Batched and strided execution — the "advanced interface" shape of
+// FFTW plans: one planned size applied to many rows, possibly
+// interleaved (stride > 1), as multidimensional and multichannel codes
+// need.
+
+// BatchPlan applies a 1D plan to howMany transforms laid out in a flat
+// buffer with the given stride and distance:
+//
+//	element j of transform t lives at x[t*Dist + j*Stride].
+//
+// Stride=1, Dist=n is plain contiguous rows; Stride=howMany, Dist=1 is
+// fully interleaved channels.
+type BatchPlan[C Complex] struct {
+	plan    *Plan[C]
+	HowMany int
+	Stride  int
+	Dist    int
+	gather  []C
+}
+
+// NewBatchPlan validates the layout against the buffer contract; the
+// caller passes buffers of length >= (HowMany-1)*Dist + (n-1)*Stride + 1.
+func NewBatchPlan[C Complex](n, howMany, stride, dist int, opts ...PlanOption) (*BatchPlan[C], error) {
+	if howMany <= 0 || stride <= 0 || dist <= 0 {
+		return nil, fmt.Errorf("fft: batch geometry (howMany=%d, stride=%d, dist=%d) must be positive", howMany, stride, dist)
+	}
+	p, err := NewPlan[C](n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchPlan[C]{plan: p, HowMany: howMany, Stride: stride, Dist: dist,
+		gather: make([]C, n)}, nil
+}
+
+// MinLen returns the minimum buffer length the layout requires.
+func (b *BatchPlan[C]) MinLen() int {
+	n := b.plan.N()
+	return (b.HowMany-1)*b.Dist + (n-1)*b.Stride + 1
+}
+
+// Transform runs every transform of the batch in place.
+func (b *BatchPlan[C]) Transform(x []C, dir Direction) error {
+	if len(x) < b.MinLen() {
+		return fmt.Errorf("fft: buffer length %d below layout minimum %d", len(x), b.MinLen())
+	}
+	n := b.plan.N()
+	for t := 0; t < b.HowMany; t++ {
+		base := t * b.Dist
+		if b.Stride == 1 {
+			if err := b.plan.Transform(x[base:base+n], dir); err != nil {
+				return err
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			b.gather[j] = x[base+j*b.Stride]
+		}
+		if err := b.plan.Transform(b.gather, dir); err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			x[base+j*b.Stride] = b.gather[j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package fft_test
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"xmtfft/internal/fft"
+)
+
+// The basic plan workflow: forward transform, inspect the spectrum,
+// invert.
+func ExampleNewPlan() {
+	const n = 8
+	p, _ := fft.NewPlan[complex128](n)
+
+	// A 2-cycle cosine: energy lands in bins 2 and n-2.
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*2*float64(i)/n), 0)
+	}
+	p.Transform(x, fft.Forward)
+	for k, v := range x {
+		if cmplx.Abs(v) > 1e-9 {
+			fmt.Printf("bin %d: %.1f\n", k, cmplx.Abs(v))
+		}
+	}
+	// Output:
+	// bin 2: 4.0
+	// bin 6: 4.0
+}
+
+// Circular convolution via the convolution theorem.
+func ExampleConvolve() {
+	a := []complex128{1, 2, 0, 0}
+	b := []complex128{3, 4, 0, 0}
+	c, _ := fft.Convolve(a, b)
+	for _, v := range c {
+		fmt.Printf("%.0f ", real(v))
+	}
+	fmt.Println()
+	// Output:
+	// 3 10 8 0
+}
+
+// Arbitrary (non-power-of-two) lengths via Bluestein's algorithm.
+func ExampleNewAnyPlan() {
+	p, _ := fft.NewAnyPlan[complex128](6) // not a power of two
+	x := []complex128{1, 1, 1, 1, 1, 1}
+	p.Transform(x, fft.Forward)
+	fmt.Printf("X[0] = %.0f, |X[1]| = %.0f\n", real(x[0]), cmplx.Abs(x[1]))
+	// Output:
+	// X[0] = 6, |X[1]| = 0
+}
+
+// Real-input transforms return only the non-redundant half spectrum.
+func ExampleRealForward() {
+	x := []float64{1, 0, -1, 0, 1, 0, -1, 0} // 2 cycles over 8 samples
+	spec, _ := fft.RealForward[complex128](x)
+	fmt.Printf("%d bins; |X[2]| = %.0f\n", len(spec), cmplx.Abs(spec[2]))
+	// Output:
+	// 5 bins; |X[2]| = 4
+}
+
+// Frequencies maps bins to physical frequencies.
+func ExampleFrequencies() {
+	f := fft.Frequencies(8, 8000)
+	fmt.Println(f[1], f[5])
+	// Output:
+	// 1000 -3000
+}

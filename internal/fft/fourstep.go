@@ -1,0 +1,78 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// FourStep computes a large 1D transform by the classic four-step
+// (Bailey) decomposition: view the length-N vector as an n1×n2 matrix
+// (column-major time order), transform the columns, scale by twiddles,
+// transpose, and transform the rows. Each inner transform fits in cache
+// even when N does not — the same locality-vs-parallelism trade §IV-A
+// discusses, at the opposite extreme from the breadth-first kernel.
+//
+// x is ordered x[j] with j = j1 + n1·j2 (j1 < n1 indexes columns); the
+// output is the standard DFT in natural order. Unnormalized.
+func FourStep[C Complex](x []C, dir Direction, n1 int) error {
+	n := len(x)
+	if err := checkSize(n); err != nil {
+		return err
+	}
+	if n1 <= 0 || n%n1 != 0 {
+		return fmt.Errorf("fft: four-step factor %d does not divide %d", n1, n)
+	}
+	n2 := n / n1
+	if !IsPowerOfTwo(n1) || !IsPowerOfTwo(n2) {
+		return fmt.Errorf("fft: four-step factors (%d, %d) must be powers of two", n1, n2)
+	}
+	if n1 == 1 || n2 == 1 {
+		p, err := NewPlan[C](n, WithNorm(NormNone))
+		if err != nil {
+			return err
+		}
+		return p.Transform(x, dir)
+	}
+
+	// Step 1: n1 transforms of length n2 along "rows" of the n1×n2 view:
+	// A[j1][j2] = x[j1 + n1·j2]; transform over j2 for each j1.
+	p2, err := NewPlan[C](n2, WithNorm(NormNone))
+	if err != nil {
+		return err
+	}
+	row := make([]C, n2)
+	work := make([]C, n)
+	for j1 := 0; j1 < n1; j1++ {
+		for j2 := 0; j2 < n2; j2++ {
+			row[j2] = x[j1+n1*j2]
+		}
+		if err := p2.Transform(row, dir); err != nil {
+			return err
+		}
+		// Step 2: twiddle by ω_N^{dir·j1·k2}, and Step 3 (transpose):
+		// store at work[k2·n1... transposed layout rows of length n1.
+		for k2 := 0; k2 < n2; k2++ {
+			w := cis[C](float64(dir) * 2 * math.Pi * float64(j1*k2) / float64(n))
+			work[k2*n1+j1] = row[k2] * w
+		}
+	}
+
+	// Step 4: n2 transforms of length n1 along the transposed rows.
+	p1, err := NewPlan[C](n1, WithNorm(NormNone))
+	if err != nil {
+		return err
+	}
+	for k2 := 0; k2 < n2; k2++ {
+		if err := p1.Transform(work[k2*n1:(k2+1)*n1], dir); err != nil {
+			return err
+		}
+	}
+
+	// Output index: X[k1·n2 + k2] = row k2's element k1.
+	for k2 := 0; k2 < n2; k2++ {
+		for k1 := 0; k1 < n1; k1++ {
+			x[k1*n2+k2] = work[k2*n1+k1]
+		}
+	}
+	return nil
+}

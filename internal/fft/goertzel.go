@@ -1,0 +1,113 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goertzel evaluates a single DFT bin of x in O(N) using the Goertzel
+// recurrence — the right tool when only a few bins are needed (tone
+// detection), complementing the full transforms. The result equals
+// DFT(x, Forward)[k].
+func Goertzel[C Complex](x []C, k int) (C, error) {
+	n := len(x)
+	if n == 0 {
+		var zero C
+		return zero, fmt.Errorf("fft: goertzel on empty input")
+	}
+	if k < 0 || k >= n {
+		var zero C
+		return zero, fmt.Errorf("fft: goertzel bin %d outside [0,%d)", k, n)
+	}
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := complex(2*math.Cos(w), 0)
+	var s1, s2 complex128
+	for i := 0; i < n; i++ {
+		s0 := complex128(x[i]) + coeff*s1 - s2
+		s2, s1 = s1, s0
+	}
+	// X_k = e^{iw}·s1 − s2, then undo the implicit advance by one sample:
+	// multiply by e^{-iw·(n-1)}... the standard complex Goertzel closing:
+	sw, cw := math.Sincos(w)
+	ejw := complex(cw, sw)
+	y := s1*ejw - s2
+	// Compensate the phase accumulated over n samples: e^{-iw·n} = 1 for
+	// integer bins, so y is already X_k up to the e^{iw} closing above
+	// being referenced to sample n; standard derivation gives
+	// X_k = (s1·e^{iw} − s2)·e^{-iw·n}; with integer k, e^{-iw·n} = 1...
+	// except w·n = 2πk exactly, so no correction is needed.
+	return C(y), nil
+}
+
+// GoertzelMag returns |X_k|² without the final phase computation (the
+// common power-detection form).
+func GoertzelMag[C Complex](x []C, k int) (float64, error) {
+	v, err := Goertzel(x, k)
+	if err != nil {
+		return 0, err
+	}
+	c := complex128(v)
+	return real(c)*real(c) + imag(c)*imag(c), nil
+}
+
+// DCTII computes the (unnormalized) type-II discrete cosine transform
+// of a real sequence via a 2N-point complex FFT with even symmetry:
+//
+//	C_k = Σ_{j<N} x_j · cos(π·k·(2j+1)/(2N))
+func DCTII(x []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("fft: dct on empty input")
+	}
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("fft: dct length %d must be a power of two", n)
+	}
+	// Mirror-extend to length 2n: y = [x0..x_{n-1}, x_{n-1}..x0]; its DFT
+	// bins carry the DCT values with a half-sample phase shift.
+	m := 2 * n
+	y := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		y[j] = complex(x[j], 0)
+		y[m-1-j] = complex(x[j], 0)
+	}
+	p, err := NewPlan[complex128](m, WithNorm(NormNone))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Transform(y, Forward); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s, c := math.Sincos(-math.Pi * float64(k) / float64(m))
+		v := complex(c, s) * y[k]
+		out[k] = real(v) / 2
+	}
+	return out, nil
+}
+
+// DCTIII computes the (unnormalized) type-III DCT, the inverse of DCTII
+// up to the factor N: DCTIII(DCTII(x)) = N·x with the half-weight DC
+// convention below:
+//
+//	x_j = C_0/2 + Σ_{k>=1} C_k · cos(π·k·(2j+1)/(2N))
+func DCTIII(c []float64) ([]float64, error) {
+	n := len(c)
+	if n == 0 {
+		return nil, fmt.Errorf("fft: dct on empty input")
+	}
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("fft: dct length %d must be a power of two", n)
+	}
+	// Direct O(N²) synthesis for clarity; DCT-III is provided as the
+	// verification inverse for DCT-II rather than as a fast path.
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := c[0] / 2
+		for k := 1; k < n; k++ {
+			v += c[k] * math.Cos(math.Pi*float64(k)*(2*float64(j)+1)/float64(2*n))
+		}
+		out[j] = v
+	}
+	return out, nil
+}

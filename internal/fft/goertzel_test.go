@@ -1,0 +1,141 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestGoertzelMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, n := range []int{4, 17, 64, 100} { // any length, not just powers of two
+		x := randVec128(rng, n)
+		want := DFT(x, Forward)
+		for _, k := range []int{0, 1, n / 2, n - 1} {
+			got, err := Goertzel(x, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmplx.Abs(got-want[k]) > 1e-9*(1+cmplx.Abs(want[k])) {
+				t.Errorf("n=%d k=%d: goertzel %v, dft %v", n, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestGoertzelToneDetection(t *testing.T) {
+	n := 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*19*float64(i)/float64(n)), 0)
+	}
+	on, err := GoertzelMag(x, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := GoertzelMag(x, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on < 1e3*off+1 {
+		t.Errorf("tone bin power %g not >> off bin %g", on, off)
+	}
+}
+
+func TestGoertzelErrors(t *testing.T) {
+	if _, err := Goertzel([]complex128{}, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Goertzel(make([]complex128, 4), 4); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if _, err := GoertzelMag(make([]complex128, 4), -1); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestDCTIIMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{2, 8, 64} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got, err := DCTII(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			var want float64
+			for j := 0; j < n; j++ {
+				want += x[j] * math.Cos(math.Pi*float64(k)*(2*float64(j)+1)/float64(2*n))
+			}
+			if math.Abs(got[k]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("n=%d: C[%d] = %g, want %g", n, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c, err := DCTII(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DCTIII(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(back[i]/float64(n/2)-x[i]) > 1e-9 {
+			t.Fatalf("round trip x[%d]: %g vs %g", i, back[i]/float64(n/2), x[i])
+		}
+	}
+}
+
+func TestDCTErrors(t *testing.T) {
+	if _, err := DCTII(nil); err == nil {
+		t.Error("empty dct accepted")
+	}
+	if _, err := DCTII(make([]float64, 3)); err == nil {
+		t.Error("non-power-of-two dct accepted")
+	}
+	if _, err := DCTIII(nil); err == nil {
+		t.Error("empty dct3 accepted")
+	}
+	if _, err := DCTIII(make([]float64, 5)); err == nil {
+		t.Error("non-power-of-two dct3 accepted")
+	}
+}
+
+// Energy compaction: for a smooth signal the DCT concentrates energy in
+// the low coefficients (why DCT underlies image codecs).
+func TestDCTEnergyCompaction(t *testing.T) {
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Exp(-float64(i) / 20)
+	}
+	c, err := DCTII(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var low, high float64
+	for k := 0; k < n; k++ {
+		if k < n/4 {
+			low += c[k] * c[k]
+		} else {
+			high += c[k] * c[k]
+		}
+	}
+	if low < 20*high {
+		t.Errorf("poor energy compaction: low %g vs high %g", low, high)
+	}
+}

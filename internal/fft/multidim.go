@@ -1,0 +1,201 @@
+package fft
+
+import "fmt"
+
+// Multidimensional transforms follow the paper's §IV organization
+// exactly: the FFT of every row (last axis) is computed, then the axes
+// of the array are rotated so that the next round of row FFTs covers
+// what were originally the columns (§VI-B; for 2D the rotation is a
+// transpose). The row transform and the rotation are fused — each
+// round reads the array once and writes it once — mirroring the
+// implementation choice the paper makes to "reduce the number of
+// synchronization points and round trips to memory".
+
+// Plan2D transforms dense row-major d0×d1 arrays (index i*d1 + j).
+type Plan2D[T Complex] struct {
+	d0, d1 int
+	p0, p1 *Plan[T]
+	norm   Normalization
+	buf    []T
+	rowbuf []T
+}
+
+// NewPlan2D builds a 2D plan; both dimensions must be powers of two.
+func NewPlan2D[T Complex](d0, d1 int, opts ...PlanOption) (*Plan2D[T], error) {
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p0, err := NewPlan[T](d0, WithNorm(NormNone))
+	if err != nil {
+		return nil, err
+	}
+	p1 := p0
+	if d1 != d0 {
+		if p1, err = NewPlan[T](d1, WithNorm(NormNone)); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan2D[T]{d0: d0, d1: d1, p0: p0, p1: p1, norm: cfg.norm,
+		buf: make([]T, d0*d1), rowbuf: make([]T, max(d0, d1))}, nil
+}
+
+// Size returns the array dimensions.
+func (p *Plan2D[T]) Size() (d0, d1 int) { return p.d0, p.d1 }
+
+// Transform computes the in-place 2D transform of x.
+func (p *Plan2D[T]) Transform(x []T, dir Direction) error {
+	if len(x) != p.d0*p.d1 {
+		return fmt.Errorf("fft: input length %d, want %d", len(x), p.d0*p.d1)
+	}
+	// Round 1: FFT rows of length d1, writing transposed into buf.
+	if err := rowsAndRotate(p.buf, x, p.d0, p.d1, p.p1, p.rowbuf, dir); err != nil {
+		return err
+	}
+	// Round 2: rows of length d0 (original columns), transposing back.
+	if err := rowsAndRotate(x, p.buf, p.d1, p.d0, p.p0, p.rowbuf, dir); err != nil {
+		return err
+	}
+	applyNorm(x, p.d0*p.d1, dir, p.norm)
+	return nil
+}
+
+// rowsAndRotate transforms each length-d1 row of src (a d0×d1 array)
+// and stores the result transposed into dst (a d1×d0 array): the fused
+// FFT+rotation round.
+func rowsAndRotate[T Complex](dst, src []T, d0, d1 int, plan *Plan[T], rowbuf []T, dir Direction) error {
+	row := rowbuf[:d1]
+	for i := 0; i < d0; i++ {
+		copy(row, src[i*d1:(i+1)*d1])
+		if err := plan.Transform(row, dir); err != nil {
+			return err
+		}
+		for j, v := range row {
+			dst[j*d0+i] = v
+		}
+	}
+	return nil
+}
+
+// Plan3D transforms dense row-major d0×d1×d2 arrays
+// (index (i*d1 + j)*d2 + k).
+type Plan3D[T Complex] struct {
+	d0, d1, d2 int
+	plans      [3]*Plan[T] // per-axis plans, indexed by axis length order d2,d1,d0
+	norm       Normalization
+	buf        []T
+	rowbuf     []T
+}
+
+// NewPlan3D builds a 3D plan; all dimensions must be powers of two.
+func NewPlan3D[T Complex](d0, d1, d2 int, opts ...PlanOption) (*Plan3D[T], error) {
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mk := func(n int) (*Plan[T], error) { return NewPlan[T](n, WithNorm(NormNone)) }
+	p2, err := mk(d2)
+	if err != nil {
+		return nil, err
+	}
+	p1 := p2
+	if d1 != d2 {
+		if p1, err = mk(d1); err != nil {
+			return nil, err
+		}
+	}
+	p0 := p2
+	switch d0 {
+	case d2:
+	case d1:
+		p0 = p1
+	default:
+		if p0, err = mk(d0); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan3D[T]{d0: d0, d1: d1, d2: d2, plans: [3]*Plan[T]{p2, p1, p0},
+		norm: cfg.norm, buf: make([]T, d0*d1*d2),
+		rowbuf: make([]T, max(d0, max(d1, d2)))}, nil
+}
+
+// Size returns the array dimensions.
+func (p *Plan3D[T]) Size() (d0, d1, d2 int) { return p.d0, p.d1, p.d2 }
+
+// Transform computes the in-place 3D transform of x: three rounds of
+// fused row-FFT + axis rotation (i,j,k) → (k,i,j), returning the array
+// to its original orientation fully transformed.
+func (p *Plan3D[T]) Transform(x []T, dir Direction) error {
+	n := p.d0 * p.d1 * p.d2
+	if len(x) != n {
+		return fmt.Errorf("fft: input length %d, want %d", len(x), n)
+	}
+	dims := [3]int{p.d0, p.d1, p.d2}
+	src, dst := x, p.buf
+	for round := 0; round < 3; round++ {
+		if err := rows3DAndRotate(dst, src, dims, p.plans[round], p.rowbuf, dir); err != nil {
+			return err
+		}
+		dims = [3]int{dims[2], dims[0], dims[1]}
+		src, dst = dst, src
+	}
+	// Three swaps: data ends back in x (src == x after an odd number of
+	// swaps is p.buf; after 3 rounds src==dst^3... check: round count 3
+	// is odd, so the final result lives in p.buf when it started in x.
+	if &src[0] != &x[0] {
+		copy(x, src)
+	}
+	applyNorm(x, n, dir, p.norm)
+	return nil
+}
+
+// rows3DAndRotate transforms each length-d2 row of src (d0×d1×d2) and
+// writes the result into dst laid out as d2×d0×d1: the fused rotation
+// dst[k][i][j] = FFTrow(src[i][j])[k].
+func rows3DAndRotate[T Complex](dst, src []T, dims [3]int, plan *Plan[T], rowbuf []T, dir Direction) error {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	row := rowbuf[:d2]
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			copy(row, src[(i*d1+j)*d2:(i*d1+j+1)*d2])
+			if err := plan.Transform(row, dir); err != nil {
+				return err
+			}
+			for k, v := range row {
+				dst[(k*d0+i)*d1+j] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Rotate3D rotates axes (i,j,k) → (k,i,j): dst, laid out d2×d0×d1,
+// receives dst[k][i][j] = src[i][j][k]. Exposed for the unfused-rotation
+// ablation and for tests.
+func Rotate3D[T Complex](dst, src []T, d0, d1, d2 int) error {
+	if len(src) != d0*d1*d2 || len(dst) != d0*d1*d2 {
+		return fmt.Errorf("fft: rotate size mismatch")
+	}
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			base := (i*d1 + j) * d2
+			for k := 0; k < d2; k++ {
+				dst[(k*d0+i)*d1+j] = src[base+k]
+			}
+		}
+	}
+	return nil
+}
+
+// Transpose2D writes dst[j][i] = src[i][j] for a d0×d1 src.
+func Transpose2D[T Complex](dst, src []T, d0, d1 int) error {
+	if len(src) != d0*d1 || len(dst) != d0*d1 {
+		return fmt.Errorf("fft: transpose size mismatch")
+	}
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			dst[j*d0+i] = src[i*d1+j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Host-parallel execution: the coarse-grained strategy of §IV-A (one or
+// more rows per thread, each applying a serial row FFT), which is how
+// parallel FFTW runs on a multicore host. This is the engine behind the
+// FFTW-substitute baseline in internal/baseline.
+
+// Clone returns a plan sharing this plan's immutable twiddle tables
+// (built at construction) but owning private scratch, so the clone can
+// run concurrently with the original — and Clone itself is safe to call
+// from any goroutine.
+func (p *Plan[T]) Clone() *Plan[T] {
+	return &Plan[T]{
+		n:       p.n,
+		radices: p.radices,
+		norm:    p.norm,
+		tw:      p.tw,
+		scratch: make([]T, p.n),
+	}
+}
+
+// ParallelPlan3D transforms d0×d1×d2 arrays using a pool of OS-thread
+// workers, each owning a clone of the per-axis row plans.
+type ParallelPlan3D[T Complex] struct {
+	d0, d1, d2 int
+	workers    int
+	norm       Normalization
+	// plans[round][worker]
+	plans [3][]*Plan[T]
+	buf   []T
+}
+
+// NewParallelPlan3D builds a parallel 3D plan with the given worker
+// count (0 means GOMAXPROCS).
+func NewParallelPlan3D[T Complex](d0, d1, d2, workers int, opts ...PlanOption) (*ParallelPlan3D[T], error) {
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base, err := NewPlan3D[T](d0, d1, d2)
+	if err != nil {
+		return nil, err
+	}
+	p := &ParallelPlan3D[T]{d0: d0, d1: d1, d2: d2, workers: workers,
+		norm: cfg.norm, buf: make([]T, d0*d1*d2)}
+	for round := 0; round < 3; round++ {
+		p.plans[round] = make([]*Plan[T], workers)
+		for w := 0; w < workers; w++ {
+			p.plans[round][w] = base.plans[round].Clone()
+		}
+	}
+	return p, nil
+}
+
+// Workers returns the worker count.
+func (p *ParallelPlan3D[T]) Workers() int { return p.workers }
+
+// Transform computes the in-place 3D transform of x in parallel.
+func (p *ParallelPlan3D[T]) Transform(x []T, dir Direction) error {
+	n := p.d0 * p.d1 * p.d2
+	if len(x) != n {
+		return fmt.Errorf("fft: input length %d, want %d", len(x), n)
+	}
+	dims := [3]int{p.d0, p.d1, p.d2}
+	src, dst := x, p.buf
+	for round := 0; round < 3; round++ {
+		if err := p.parallelRound(dst, src, dims, p.plans[round], dir); err != nil {
+			return err
+		}
+		dims = [3]int{dims[2], dims[0], dims[1]}
+		src, dst = dst, src
+	}
+	if &src[0] != &x[0] {
+		copy(x, src)
+	}
+	applyNorm(x, n, dir, p.norm)
+	return nil
+}
+
+// parallelRound runs one fused row-FFT+rotation round, splitting the
+// d0×d1 row space across workers.
+func (p *ParallelPlan3D[T]) parallelRound(dst, src []T, dims [3]int, plans []*Plan[T], dir Direction) error {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	rows := d0 * d1
+	var wg sync.WaitGroup
+	errs := make([]error, len(plans))
+	for w := range plans {
+		lo := rows * w / len(plans)
+		hi := rows * (w + 1) / len(plans)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			plan := plans[w]
+			row := make([]T, d2)
+			for r := lo; r < hi; r++ {
+				i, j := r/d1, r%d1
+				copy(row, src[r*d2:(r+1)*d2])
+				if err := plan.Transform(row, dir); err != nil {
+					errs[w] = err
+					return
+				}
+				for k, v := range row {
+					dst[(k*d0+i)*d1+j] = v
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelRows1D applies plan-sized transforms to each of the rows of a
+// flat buffer concurrently; the generic building block used by the
+// baseline's batched 1D measurements. The plan is cloned per worker.
+func ParallelRows1D[T Complex](x []T, plan *Plan[T], dir Direction, workers int) error {
+	n := plan.N()
+	if len(x)%n != 0 {
+		return fmt.Errorf("fft: buffer length %d not a multiple of row size %d", len(x), n)
+	}
+	rows := len(x) / n
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		for r := 0; r < rows; r++ {
+			if err := plan.Transform(x[r*n:(r+1)*n], dir); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := rows * w / workers
+		hi := rows * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := plan.Clone()
+			for r := lo; r < hi; r++ {
+				if err := p.Transform(x[r*n:(r+1)*n], dir); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelPlan2D transforms d0×d1 arrays with a worker pool, the 2D
+// analog of ParallelPlan3D.
+type ParallelPlan2D[T Complex] struct {
+	d0, d1  int
+	workers int
+	norm    Normalization
+	// plans[round][worker]: round 0 transforms rows of length d1,
+	// round 1 the transposed rows of length d0.
+	plans [2][]*Plan[T]
+	buf   []T
+}
+
+// NewParallelPlan2D builds a parallel 2D plan (workers 0 = GOMAXPROCS).
+func NewParallelPlan2D[T Complex](d0, d1, workers int, opts ...PlanOption) (*ParallelPlan2D[T], error) {
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base, err := NewPlan2D[T](d0, d1)
+	if err != nil {
+		return nil, err
+	}
+	p := &ParallelPlan2D[T]{d0: d0, d1: d1, workers: workers, norm: cfg.norm,
+		buf: make([]T, d0*d1)}
+	for w := 0; w < workers; w++ {
+		p.plans[0] = append(p.plans[0], base.p1.Clone())
+		p.plans[1] = append(p.plans[1], base.p0.Clone())
+	}
+	return p, nil
+}
+
+// Transform computes the in-place 2D transform of x in parallel.
+func (p *ParallelPlan2D[T]) Transform(x []T, dir Direction) error {
+	n := p.d0 * p.d1
+	if len(x) != n {
+		return fmt.Errorf("fft: input length %d, want %d", len(x), n)
+	}
+	// Round 1: rows of length d1 into buf transposed; round 2: rows of
+	// length d0 (the original columns) back into x.
+	if err := parallelRound2D(p.buf, x, p.d0, p.d1, p.plans[0], dir); err != nil {
+		return err
+	}
+	if err := parallelRound2D(x, p.buf, p.d1, p.d0, p.plans[1], dir); err != nil {
+		return err
+	}
+	applyNorm(x, n, dir, p.norm)
+	return nil
+}
+
+// parallelRound2D transforms each length-d1 row of src (d0×d1) writing
+// transposed into dst, splitting rows across the worker plans.
+func parallelRound2D[T Complex](dst, src []T, d0, d1 int, plans []*Plan[T], dir Direction) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(plans))
+	for w := range plans {
+		lo := d0 * w / len(plans)
+		hi := d0 * (w + 1) / len(plans)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			row := make([]T, d1)
+			for i := lo; i < hi; i++ {
+				copy(row, src[i*d1:(i+1)*d1])
+				if err := plans[w].Transform(row, dir); err != nil {
+					errs[w] = err
+					return
+				}
+				for j, v := range row {
+					dst[j*d0+i] = v
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan holds the precomputed state (pass radices and per-pass twiddle
+// tables) for repeated transforms of one size, in the spirit of FFTW
+// plans. The executor is the breadth-first, self-sorting (Stockham)
+// mixed-radix decimation-in-frequency algorithm described in §IV-A:
+// every pass exposes N/r independent butterflies, the organization the
+// paper chooses for XMT because maximum parallelism is always available.
+type Plan[T Complex] struct {
+	n       int
+	radices []int
+	norm    Normalization
+	tw      map[Direction][][]T // per-direction, per-pass tables
+	scratch []T
+}
+
+// PlanOption configures plan construction.
+type PlanOption func(*planConfig)
+
+type planConfig struct {
+	norm    Normalization
+	radices []int
+}
+
+// WithNorm sets the inverse-transform normalization (default NormByN).
+func WithNorm(n Normalization) PlanOption {
+	return func(c *planConfig) { c.norm = n }
+}
+
+// WithRadices overrides the pass radix decomposition (values in
+// {2,4,8}, product must equal the transform size). Used by the radix
+// ablation study.
+func WithRadices(rs []int) PlanOption {
+	return func(c *planConfig) { c.radices = rs }
+}
+
+// NewPlan builds a plan for n-point transforms (n a power of two).
+func NewPlan[T Complex](n int, opts ...PlanOption) (*Plan[T], error) {
+	if err := checkSize(n); err != nil {
+		return nil, err
+	}
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rs := cfg.radices
+	if rs == nil {
+		var err error
+		rs, err = Radices(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	prod := 1
+	for _, r := range rs {
+		if r != 2 && r != 4 && r != 8 {
+			return nil, fmt.Errorf("fft: unsupported radix %d", r)
+		}
+		prod *= r
+	}
+	if prod != n {
+		return nil, fmt.Errorf("fft: radices %v multiply to %d, want %d", rs, prod, n)
+	}
+	p := &Plan[T]{
+		n:       n,
+		radices: rs,
+		norm:    cfg.norm,
+		tw:      map[Direction][][]T{},
+		scratch: make([]T, n),
+	}
+	// Build both directions eagerly: the table map is immutable from
+	// here on, so plans and their Clones can be shared across
+	// goroutines without synchronization.
+	p.tables(Forward)
+	p.tables(Inverse)
+	return p, nil
+}
+
+// N returns the transform size.
+func (p *Plan[T]) N() int { return p.n }
+
+// NumPasses returns the number of breadth-first passes.
+func (p *Plan[T]) NumPasses() int { return len(p.radices) }
+
+// PassRadices returns a copy of the pass radix sequence.
+func (p *Plan[T]) PassRadices() []int { return append([]int(nil), p.radices...) }
+
+// tables returns (building if needed) the per-pass twiddle tables for
+// dir. The pass over sub-transforms of length L uses the table
+// {ω_L^{dir·e}}_{e<L}: pass 0 holds the N distinct Nth roots of unity,
+// pass 1 the N/r-th roots, and so on — the decimation-in-frequency decay
+// the paper exploits in its replication scheme (§IV-A).
+func (p *Plan[T]) tables(dir Direction) [][]T {
+	if t, ok := p.tw[dir]; ok {
+		return t
+	}
+	t := make([][]T, len(p.radices))
+	l := p.n
+	for pass, r := range p.radices {
+		tab := make([]T, l)
+		for e := range tab {
+			tab[e] = cis[T](float64(dir) * 2 * math.Pi * float64(e) / float64(l))
+		}
+		t[pass] = tab
+		l /= r
+	}
+	p.tw[dir] = t
+	return t
+}
+
+// Transform computes the in-place transform of x (len(x) must equal the
+// plan size), applying the plan's normalization.
+func (p *Plan[T]) Transform(x []T, dir Direction) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: input length %d does not match plan size %d", len(x), p.n)
+	}
+	src, dst := x, p.scratch
+	s, l := 1, p.n
+	tw := p.tables(dir)
+	for pass, r := range p.radices {
+		stockhamPass(dst, src, s, l, r, tw[pass], dir)
+		src, dst = dst, src
+		s *= r
+		l /= r
+	}
+	if &src[0] != &x[0] {
+		copy(x, src)
+	}
+	applyNorm(x, p.n, dir, p.norm)
+	return nil
+}
+
+// TransformTo computes the transform of src into dst without modifying
+// src. dst and src must not overlap.
+func (p *Plan[T]) TransformTo(dst, src []T, dir Direction) error {
+	if len(src) != p.n || len(dst) != p.n {
+		return fmt.Errorf("fft: buffer lengths (%d, %d) do not match plan size %d", len(dst), len(src), p.n)
+	}
+	copy(dst, src)
+	return p.Transform(dst, dir)
+}
+
+// stockhamPass performs one self-sorting DIF pass.
+//
+// Input layout: src[d + s·(j + k·(L/r))] for digit prefix d ∈ [0,s),
+// in-transform index j ∈ [0,L/r), radix leg k ∈ [0,r).
+// Output layout: dst[d + m·s + (s·r)·j] for output digit m ∈ [0,r).
+// The leg values t_k are combined by an r-point DFT and multiplied by
+// the twiddle ω_L^{dir·j·m} (tw[j·m]).
+func stockhamPass[T Complex](dst, src []T, s, l, r int, tw []T, dir Direction) {
+	lr := l / r
+	switch r {
+	case 2:
+		for j := 0; j < lr; j++ {
+			w := tw[j]
+			for d := 0; d < s; d++ {
+				a := src[d+s*j]
+				b := src[d+s*(j+lr)]
+				dst[d+s*2*j] = a + b
+				dst[d+s*(2*j+1)] = (a - b) * w
+			}
+		}
+	case 4:
+		im := T(complex(0, float64(dir)))
+		for j := 0; j < lr; j++ {
+			w1, w2, w3 := tw[j], tw[2*j], tw[3*j]
+			for d := 0; d < s; d++ {
+				t0 := src[d+s*j]
+				t1 := src[d+s*(j+lr)]
+				t2 := src[d+s*(j+2*lr)]
+				t3 := src[d+s*(j+3*lr)]
+				a, b := t0+t2, t0-t2
+				c, e := t1+t3, (t1-t3)*im
+				dst[d+s*4*j] = a + c
+				dst[d+s*(4*j+1)] = (b + e) * w1
+				dst[d+s*(4*j+2)] = (a - c) * w2
+				dst[d+s*(4*j+3)] = (b - e) * w3
+			}
+		}
+	case 8:
+		im := T(complex(0, float64(dir)))
+		h := math.Sqrt2 / 2
+		w8 := T(complex(h, float64(dir)*h)) // ω_8^{dir}
+		for j := 0; j < lr; j++ {
+			for d := 0; d < s; d++ {
+				t0 := src[d+s*j]
+				t1 := src[d+s*(j+lr)]
+				t2 := src[d+s*(j+2*lr)]
+				t3 := src[d+s*(j+3*lr)]
+				t4 := src[d+s*(j+4*lr)]
+				t5 := src[d+s*(j+5*lr)]
+				t6 := src[d+s*(j+6*lr)]
+				t7 := src[d+s*(j+7*lr)]
+
+				// E = DFT4(t0,t2,t4,t6), O = DFT4(t1,t3,t5,t7).
+				a, b := t0+t4, t0-t4
+				c, e := t2+t6, (t2-t6)*im
+				e0, e1, e2, e3 := a+c, b+e, a-c, b-e
+				a, b = t1+t5, t1-t5
+				c, e = t3+t7, (t3-t7)*im
+				o0, o1, o2, o3 := a+c, b+e, a-c, b-e
+
+				o1 *= w8
+				o2 *= im      // ω_8^{2·dir} = dir·i
+				o3 *= im * w8 // ω_8^{3·dir}
+
+				y0, y4 := e0+o0, e0-o0
+				y1, y5 := e1+o1, e1-o1
+				y2, y6 := e2+o2, e2-o2
+				y3, y7 := e3+o3, e3-o3
+
+				base := d + s*8*j
+				dst[base] = y0
+				dst[base+s] = y1 * tw[j]
+				dst[base+2*s] = y2 * tw[2*j]
+				dst[base+3*s] = y3 * tw[3*j]
+				dst[base+4*s] = y4 * tw[4*j]
+				dst[base+5*s] = y5 * tw[5*j]
+				dst[base+6*s] = y6 * tw[6*j]
+				dst[base+7*s] = y7 * tw[7*j]
+			}
+		}
+	default:
+		// Generic small-DFT fallback (unused by standard plans; kept for
+		// completeness and property testing of the specialized kernels).
+		t := make([]T, r)
+		for j := 0; j < lr; j++ {
+			for d := 0; d < s; d++ {
+				for k := 0; k < r; k++ {
+					t[k] = src[d+s*(j+k*lr)]
+				}
+				for m := 0; m < r; m++ {
+					var sum T
+					for k := 0; k < r; k++ {
+						sum += t[k] * omega[T](r, m*k, dir)
+					}
+					dst[d+s*(r*j+m)] = sum * tw[j*m]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency-axis helpers, the small conveniences every FFT library
+// grows: bin-to-frequency mapping and the half-spectrum rotation that
+// centers DC for display.
+
+// Frequencies returns the frequency of each bin of an n-point transform
+// at sample rate fs, in standard FFT order: 0, fs/n, ..., then the
+// negative frequencies.
+func Frequencies(n int, fs float64) []float64 {
+	out := make([]float64, n)
+	for k := range out {
+		if k <= n/2 {
+			out[k] = float64(k) * fs / float64(n)
+		} else {
+			out[k] = float64(k-n) * fs / float64(n)
+		}
+	}
+	return out
+}
+
+// FFTShift rotates x so the zero-frequency bin moves to the center
+// (index n/2), the display convention. In place; returns x.
+func FFTShift[C Complex](x []C) []C {
+	rotate(x, len(x)/2)
+	return x
+}
+
+// IFFTShift undoes FFTShift (they differ for odd lengths).
+func IFFTShift[C Complex](x []C) []C {
+	rotate(x, (len(x)+1)/2)
+	return x
+}
+
+// rotate moves x[k] to x[(k+s) mod n] using the triple-reverse idiom.
+func rotate[C Complex](x []C, s int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	s %= n
+	if s < 0 {
+		s += n
+	}
+	reverse(x[:n-s])
+	reverse(x[n-s:])
+	reverse(x)
+}
+
+func reverse[C Complex](x []C) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// BinOf returns the bin index whose center frequency is closest to f Hz
+// for an n-point transform at sample rate fs (f may be negative).
+func BinOf(n int, fs, f float64) (int, error) {
+	if fs <= 0 || n <= 0 {
+		return 0, fmt.Errorf("fft: bad geometry n=%d fs=%g", n, fs)
+	}
+	k := int(math.Round(f / fs * float64(n)))
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	return k, nil
+}

@@ -1,0 +1,74 @@
+package fft
+
+import "math"
+
+// Window functions for spectral analysis (used by examples/signal and
+// the signal-processing application surface of the library).
+
+// Window identifies a window shape.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// String returns the window's name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	}
+	return "unknown"
+}
+
+// Coefficients returns the n window coefficients.
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := 2 * math.Pi * float64(i) / float64(n-1)
+		switch w {
+		case Hann:
+			out[i] = 0.5 * (1 - math.Cos(t))
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// CoherentGain returns the window's mean coefficient, the factor by
+// which a windowed sinusoid's spectral peak is scaled.
+func (w Window) CoherentGain(n int) float64 {
+	c := w.Coefficients(n)
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s / float64(n)
+}
+
+// Apply multiplies x element-wise by the window, returning x.
+func ApplyWindow[C Complex](x []C, w Window) []C {
+	for i, c := range w.Coefficients(len(x)) {
+		x[i] *= C(complex(c, 0))
+	}
+	return x
+}

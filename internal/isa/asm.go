@@ -1,0 +1,412 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses XMT assembly source into a Program. The syntax is
+// line-oriented:
+//
+//	; comment (also #)
+//	label:
+//	    mnemonic operand, operand, operand
+//
+// Operands are integer registers (r0-r31), floating-point registers
+// (f0-f31), global registers (g0-g7), signed integer immediates, or
+// labels. Register r0 is hardwired to zero.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		args := strings.Split(strings.Join(fields[1:], " "), ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+		if len(args) == 1 && args[0] == "" {
+			args = nil
+		}
+
+		in, lbl, err := parseInstr(mnem, args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		if lbl != "" {
+			patches = append(patches, patch{len(p.Instrs), lbl, ln + 1})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, pt := range patches {
+		idx, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Instrs[pt.instr].Target = idx
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("empty program")
+	}
+	return p, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func reg(s string, prefix byte, max int) (uint8, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("expected %c-register, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= max {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseInstr decodes one instruction; when the instruction references a
+// label, the label is returned for later patching.
+func parseInstr(mnem string, args []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+	r := func(i int) (uint8, error) { return reg(args[i], 'r', NumIntRegs) }
+	f := func(i int) (uint8, error) { return reg(args[i], 'f', NumFPRegs) }
+	g := func(i int) (uint8, error) { return reg(args[i], 'g', NumGlobalRegs) }
+
+	rrr := func(op Opcode) (Instr, string, error) {
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rb, err := r(2)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Rd: rd, Ra: ra, Rb: rb}, "", nil
+	}
+	rri := func(op Opcode) (Instr, string, error) {
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Rd: rd, Ra: ra, Imm: v}, "", nil
+	}
+	fff := func(op Opcode) (Instr, string, error) {
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		fd, err := f(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		fa, err := f(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		fb, err := f(2)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Rd: fd, Ra: fa, Rb: fb}, "", nil
+	}
+	branch := func(op Opcode) (Instr, string, error) {
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rb, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if !isIdent(args[2]) {
+			return Instr{}, "", fmt.Errorf("%s: bad label %q", mnem, args[2])
+		}
+		return Instr{Op: op, Ra: ra, Rb: rb}, args[2], nil
+	}
+
+	switch mnem {
+	case "li":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpLI, Rd: rd, Imm: v}, "", nil
+	case "add":
+		return rrr(OpADD)
+	case "sub":
+		return rrr(OpSUB)
+	case "and":
+		return rrr(OpAND)
+	case "or":
+		return rrr(OpOR)
+	case "xor":
+		return rrr(OpXOR)
+	case "sll":
+		return rrr(OpSLL)
+	case "srl":
+		return rrr(OpSRL)
+	case "mul":
+		return rrr(OpMUL)
+	case "div":
+		return rrr(OpDIV)
+	case "rem":
+		return rrr(OpREM)
+	case "addi":
+		return rri(OpADDI)
+	case "slli":
+		return rri(OpSLLI)
+	case "srli":
+		return rri(OpSRLI)
+	case "lw":
+		return rri(OpLW)
+	case "sw":
+		return rri(OpSW)
+	case "lwf", "swf":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		fd, err := f(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := OpLWF
+		if mnem == "swf" {
+			op = OpSWF
+		}
+		return Instr{Op: op, Rd: fd, Ra: ra, Imm: v}, "", nil
+	case "fadd":
+		return fff(OpFADD)
+	case "fsub":
+		return fff(OpFSUB)
+	case "fmul":
+		return fff(OpFMUL)
+	case "fdiv":
+		return fff(OpFDIV)
+	case "fneg", "fmov":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		fd, err := f(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		fa, err := f(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		op := OpFNEG
+		if mnem == "fmov" {
+			op = OpFMOV
+		}
+		return Instr{Op: op, Rd: fd, Ra: fa}, "", nil
+	case "cvtif":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		fd, err := f(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpCVTIF, Rd: fd, Ra: ra}, "", nil
+	case "cvtfi":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		fa, err := f(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpCVTFI, Rd: rd, Ra: fa}, "", nil
+	case "beq":
+		return branch(OpBEQ)
+	case "bne":
+		return branch(OpBNE)
+	case "blt":
+		return branch(OpBLT)
+	case "bge":
+		return branch(OpBGE)
+	case "j":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		if !isIdent(args[0]) {
+			return Instr{}, "", fmt.Errorf("j: bad label %q", args[0])
+		}
+		return Instr{Op: OpJ}, args[0], nil
+	case "ps":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		gk, err := g(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpPS, Rd: rd, Ra: gk}, "", nil
+	case "gset":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		gk, err := g(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpGSET, Rd: gk, Ra: ra}, "", nil
+	case "gget":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		gk, err := g(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpGGET, Rd: rd, Ra: gk}, "", nil
+	case "spawn":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if !isIdent(args[1]) {
+			return Instr{}, "", fmt.Errorf("spawn: bad label %q", args[1])
+		}
+		return Instr{Op: OpSPAWN, Ra: ra}, args[1], nil
+	case "sspawn":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := r(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if !isIdent(args[1]) {
+			return Instr{}, "", fmt.Errorf("sspawn: bad label %q", args[1])
+		}
+		return Instr{Op: OpSSPAWN, Rd: rd}, args[1], nil
+	case "join":
+		if err := need(0); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpJOIN}, "", nil
+	case "halt":
+		if err := need(0); err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpHALT}, "", nil
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+}

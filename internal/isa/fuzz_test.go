@@ -1,0 +1,85 @@
+package isa
+
+import (
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/xmt"
+)
+
+// FuzzAssemble checks that the assembler never panics and that anything
+// it accepts can be disassembled and reassembled to the same program.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"li r2, 5\nspawn r2, b\nhalt\nb: join",
+		"loop: addi r2, r2, 1\nblt r2, r3, loop\nhalt",
+		"ps r4, g0\nsw r4, r0, 0\nhalt",
+		"lwf f1, r2, 8\nfadd f2, f1, f1\nswf f2, r2, 12\nhalt",
+		"a: b: c: j c",
+		"; just a comment\nhalt",
+		"sspawn r2, x\nx: join",
+		"li r2, -9223372036854775808\nhalt",
+		"bad r1 r2 r3",
+		"li r99, 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		dis := p.Disassemble()
+		p2, err := Assemble(dis)
+		if err != nil {
+			t.Fatalf("disassembly did not reassemble: %v\nsource: %q\ndis:\n%s", err, src, dis)
+		}
+		if len(p.Instrs) != len(p2.Instrs) {
+			t.Fatalf("instruction count changed: %d -> %d", len(p.Instrs), len(p2.Instrs))
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("instr %d changed: %+v -> %+v", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+	})
+}
+
+// FuzzVMRun executes arbitrary accepted programs with tight bounds:
+// no panics; failures only via the error return.
+func FuzzVMRun(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"li r2, 3\nspawn r2, b\nhalt\nb: slli r3, r1, 2\nsw r1, r3, 0\njoin",
+		"li r2, 1\nspawn r2, b\nhalt\nb: sspawn r3, b\njoin", // sspawn chain
+		"li r2, 100\nloop: addi r3, r3, 1\nblt r3, r2, loop\nhalt",
+		"div r2, r3, r0\nhalt",
+		"li r2, 2\nspawn r2, b\nhalt\nb: ps r4, g7\njoin",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg, err := config.FourK().Scaled(32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			return
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		m, err := xmt.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := NewVM(m, p, 4096)
+		vm.MaxThreadInstrs = 2000
+		vm.MaxThreads = 10000 // bound sspawn chains to keep iterations fast
+		_, _ = vm.Run()       // errors are fine; panics are not
+	})
+}

@@ -1,0 +1,194 @@
+// Package isa implements an XMT-style instruction set, a two-pass
+// assembler, and an interpreter that executes programs on the simulated
+// machine of internal/xmt. It reproduces the XMTC programming model of
+// §II-A at the register level: a serial master thread (MTCU) executes
+// until a spawn instruction broadcasts a parallel section; virtual
+// threads run the section body with their thread id in a register and
+// terminate at join; the prefix-sum instruction (ps) provides the
+// constant-time atomic fetch-and-add that underlies XMT's dynamic load
+// balancing and compaction idioms.
+//
+// The interpreter is functional (registers and shared memory hold real
+// values) while timing is delegated to the xmt.Machine: each executed
+// instruction contributes micro-ops, so ISA programs are timed under the
+// same FPU/LSU/NoC/memory contention model as the FFT kernels.
+package isa
+
+import "fmt"
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+const (
+	OpInvalid Opcode = iota
+
+	// Integer ALU (1 cycle, per-TCU ALU).
+	OpLI   // li rd, imm
+	OpADD  // add rd, ra, rb
+	OpADDI // addi rd, ra, imm
+	OpSUB  // sub rd, ra, rb
+	OpAND  // and rd, ra, rb
+	OpOR   // or rd, ra, rb
+	OpXOR  // xor rd, ra, rb
+	OpSLL  // sll rd, ra, rb
+	OpSLLI // slli rd, ra, imm
+	OpSRL  // srl rd, ra, rb
+	OpSRLI // srli rd, ra, imm
+
+	// Multiply/divide (shared MDU per cluster).
+	OpMUL // mul rd, ra, rb
+	OpDIV // div rd, ra, rb
+	OpREM // rem rd, ra, rb
+
+	// Memory (word = 4 bytes, through the shared-memory system).
+	OpLW  // lw rd, ra, imm    rd = mem[ra+imm]
+	OpSW  // sw rs, ra, imm    mem[ra+imm] = rs
+	OpLWF // lwf fd, ra, imm   fd = memf[ra+imm]
+	OpSWF // swf fs, ra, imm   memf[ra+imm] = fs
+
+	// Floating point (shared FPUs per cluster).
+	OpFADD  // fadd fd, fa, fb
+	OpFSUB  // fsub fd, fa, fb
+	OpFMUL  // fmul fd, fa, fb
+	OpFDIV  // fdiv fd, fa, fb
+	OpFNEG  // fneg fd, fa
+	OpFMOV  // fmov fd, fa
+	OpCVTIF // cvtif fd, ra
+	OpCVTFI // cvtfi rd, fa
+
+	// Control flow.
+	OpBEQ // beq ra, rb, label
+	OpBNE // bne ra, rb, label
+	OpBLT // blt ra, rb, label
+	OpBGE // bge ra, rb, label
+	OpJ   // j label
+
+	// XMT extensions.
+	OpPS     // ps rd, gk: atomically rd, gk = gk, gk+rd
+	OpGSET   // gset gk, ra: write global register (serial mode only)
+	OpGGET   // gget rd, gk: read global register
+	OpSPAWN  // spawn ra, label: run ra threads at label (serial mode only)
+	OpSSPAWN // sspawn rd, label: nested single-spawn of one thread at label; rd = child id (thread mode only)
+	OpJOIN   // join: terminate the current virtual thread
+	OpHALT   // halt: terminate the serial program
+)
+
+var opNames = map[Opcode]string{
+	OpLI: "li", OpADD: "add", OpADDI: "addi", OpSUB: "sub", OpAND: "and",
+	OpOR: "or", OpXOR: "xor", OpSLL: "sll", OpSLLI: "slli", OpSRL: "srl",
+	OpSRLI: "srli", OpMUL: "mul", OpDIV: "div", OpREM: "rem", OpLW: "lw",
+	OpSW: "sw", OpLWF: "lwf", OpSWF: "swf", OpFADD: "fadd", OpFSUB: "fsub",
+	OpFMUL: "fmul", OpFDIV: "fdiv", OpFNEG: "fneg", OpFMOV: "fmov",
+	OpCVTIF: "cvtif", OpCVTFI: "cvtfi", OpBEQ: "beq", OpBNE: "bne",
+	OpBLT: "blt", OpBGE: "bge", OpJ: "j", OpPS: "ps", OpGSET: "gset",
+	OpGGET: "gget", OpSPAWN: "spawn", OpSSPAWN: "sspawn", OpJOIN: "join",
+	OpHALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Opcode
+	Rd, Ra, Rb uint8 // register operands (integer, FP or global per Op)
+	Imm        int64 // immediate / displacement
+	Target     int   // resolved branch/spawn target (instruction index)
+}
+
+// Disassemble renders an instruction using label names where available.
+func (in Instr) Disassemble(labelFor func(int) string) string {
+	lbl := func() string {
+		if labelFor != nil {
+			if s := labelFor(in.Target); s != "" {
+				return s
+			}
+		}
+		return fmt.Sprintf("%d", in.Target)
+	}
+	switch in.Op {
+	case OpLI:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpMUL, OpDIV, OpREM:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpADDI, OpSLLI, OpSRLI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpLW, OpSW:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpLWF, OpSWF:
+		return fmt.Sprintf("%s f%d, r%d, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.Rd, in.Ra, in.Rb)
+	case OpFNEG, OpFMOV:
+		return fmt.Sprintf("%s f%d, f%d", in.Op, in.Rd, in.Ra)
+	case OpCVTIF:
+		return fmt.Sprintf("cvtif f%d, r%d", in.Rd, in.Ra)
+	case OpCVTFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", in.Rd, in.Ra)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Ra, in.Rb, lbl())
+	case OpJ:
+		return fmt.Sprintf("j %s", lbl())
+	case OpPS:
+		return fmt.Sprintf("ps r%d, g%d", in.Rd, in.Ra)
+	case OpGSET:
+		return fmt.Sprintf("gset g%d, r%d", in.Rd, in.Ra)
+	case OpGGET:
+		return fmt.Sprintf("gget r%d, g%d", in.Rd, in.Ra)
+	case OpSPAWN:
+		return fmt.Sprintf("spawn r%d, %s", in.Ra, lbl())
+	case OpSSPAWN:
+		return fmt.Sprintf("sspawn r%d, %s", in.Rd, lbl())
+	case OpJOIN:
+		return "join"
+	case OpHALT:
+		return "halt"
+	}
+	return fmt.Sprintf("invalid(%d)", in.Op)
+}
+
+// Program is an assembled program.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int // label -> instruction index
+}
+
+// LabelAt returns a label naming instruction index i, or "". When
+// several labels share an index (e.g. "a: b: c:"), the lexically
+// smallest is returned so that label definitions and references in a
+// disassembly always agree.
+func (p *Program) LabelAt(i int) string {
+	best := ""
+	for name, idx := range p.Labels {
+		if idx == i && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Instrs {
+		if l := p.LabelAt(i); l != "" {
+			out += l + ":\n"
+		}
+		out += "\t" + in.Disassemble(p.LabelAt) + "\n"
+	}
+	return out
+}
+
+// Register file sizes.
+const (
+	NumIntRegs    = 32
+	NumFPRegs     = 32
+	NumGlobalRegs = 8
+	// TIDReg receives the virtual thread id at thread start ($ in XMTC).
+	TIDReg = 1
+)

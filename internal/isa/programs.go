@@ -1,0 +1,163 @@
+package isa
+
+import "fmt"
+
+// Canonical PRAM programs expressed in XMT assembly — the "ease of
+// programming" showcase of §III-C and §IV-B. Each builder returns
+// source for Assemble; memory layouts are documented per program. These
+// double as integration workloads for the machine simulator.
+
+// VectorAddProgram returns c[i] = a[i] + b[i] for i < n.
+// Layout: a at aAddr, b at bAddr, c at cAddr (4-byte ints).
+func VectorAddProgram(n int, aAddr, bAddr, cAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d
+	spawn r2, body
+	halt
+body:
+	slli r2, r1, 2
+	lw r3, r2, %d
+	lw r4, r2, %d
+	add r5, r3, r4
+	sw r5, r2, %d
+	join
+`, n, aAddr, bAddr, cAddr)
+}
+
+// SaxpyProgram returns y[i] = alpha*x[i] + y[i] (single precision).
+// Layout: alpha (float32) at alphaAddr, x at xAddr, y at yAddr.
+func SaxpyProgram(n int, alphaAddr, xAddr, yAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d
+	spawn r2, body
+	halt
+body:
+	slli r2, r1, 2
+	lwf f1, r0, %d    ; alpha (broadcast read)
+	lwf f2, r2, %d    ; x[i]
+	lwf f3, r2, %d    ; y[i]
+	fmul f4, f1, f2
+	fadd f5, f4, f3
+	swf f5, r2, %d
+	join
+`, n, alphaAddr, xAddr, yAddr, yAddr)
+}
+
+// ReduceSumProgram sums a[0..n) into global register g1 using the
+// prefix-sum unit as a combining accumulator.
+func ReduceSumProgram(n int, aAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d
+	spawn r2, body
+	halt
+body:
+	slli r2, r1, 2
+	lw r3, r2, %d
+	ps r3, g1
+	join
+`, n, aAddr)
+}
+
+// CompactProgram copies the nonzero elements of a[0..n) to b (in
+// arbitrary order), leaving the count in g0 — the textbook XMT idiom.
+func CompactProgram(n int, aAddr, bAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d
+	spawn r2, body
+	halt
+body:
+	slli r2, r1, 2
+	lw r3, r2, %d
+	beq r3, r0, done
+	li r4, 1
+	ps r4, g0
+	slli r5, r4, 2
+	sw r3, r5, %d
+done:
+	join
+`, n, aAddr, bAddr)
+}
+
+// PrefixSumProgram computes the inclusive prefix sums of a[0..n) into
+// b using the logarithmic-time doubling scan (Hillis-Steele): the
+// serial master loops over distances d = 1, 2, 4, ..., spawning n
+// threads per step — the PRAM broadcast/scan structure §IV-B refers to.
+// Buffers ping-pong between srcAddr and dstAddr; the result ends at
+// dstAddr if the number of steps is odd, srcAddr otherwise; the final
+// location (byte address) is left in global register g3.
+func PrefixSumProgram(n int, srcAddr, dstAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d          ; n
+	li r3, 1           ; d
+	li r4, %d          ; src base
+	li r5, %d          ; dst base
+	gset g4, r4        ; thread-visible src
+	gset g5, r5        ; thread-visible dst
+step:
+	bge r3, r2, finish
+	gset g6, r3        ; thread-visible d (x4 applied by threads)
+	spawn r2, body
+	; swap src/dst
+	add r6, r4, r0
+	add r4, r5, r0
+	add r5, r6, r0
+	gset g4, r4
+	gset g5, r5
+	add r3, r3, r3     ; d *= 2
+	j step
+finish:
+	gset g3, r4        ; final data lives at the last dst (now src)
+	halt
+body:
+	gget r2, g4        ; src base
+	gget r3, g5        ; dst base
+	gget r4, g6        ; d
+	slli r5, r1, 2     ; i*4
+	add r6, r2, r5
+	lw r7, r6, 0       ; a[i]
+	blt r1, r4, store  ; i < d: copy through
+	sub r8, r1, r4     ; i - d
+	slli r8, r8, 2
+	add r9, r2, r8
+	lw r10, r9, 0      ; a[i-d]
+	add r7, r7, r10
+store:
+	add r11, r3, r5
+	sw r7, r11, 0
+	join
+`, n, srcAddr, dstAddr)
+}
+
+// BroadcastProgram replicates the word at srcAddr into out[0..n): the
+// logarithmic-time PRAM broadcast the paper applies to twiddle-factor
+// replication (§IV-B). Doubling rounds: round k copies the 2^k already-
+// filled slots into the next 2^k.
+func BroadcastProgram(n int, srcAddr, outAddr int) string {
+	return fmt.Sprintf(`
+	li r2, %d          ; n
+	lw r3, r0, %d      ; value
+	sw r3, r0, %d      ; out[0] = value
+	li r4, 1           ; filled
+round:
+	bge r4, r2, done
+	; copy out[i] -> out[i+filled] for i < min(filled, n-filled)
+	sub r5, r2, r4
+	blt r5, r4, capped
+	add r5, r4, r0
+capped:
+	gset g4, r4        ; offset for threads
+	spawn r5, body
+	add r4, r4, r4     ; filled *= 2
+	j round
+done:
+	halt
+body:
+	gget r2, g4        ; filled
+	slli r3, r1, 2
+	lw r4, r3, %d      ; out[i]
+	add r5, r1, r2     ; i + filled
+	slli r5, r5, 2
+	sw r4, r5, %d
+	join
+`, n, srcAddr, outAddr, outAddr, outAddr)
+}

@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func runProgram(t *testing.T, src string, memBytes int, setup func(*VM)) *VM {
+	t.Helper()
+	vm := newVM(t, src, memBytes)
+	if setup != nil {
+		setup(vm)
+	}
+	if _, err := vm.Run(); err != nil {
+		t.Fatalf("run: %v\nprogram:\n%s", err, src)
+	}
+	return vm
+}
+
+func TestVectorAddProgram(t *testing.T) {
+	const n = 200
+	vm := runProgram(t, VectorAddProgram(n, 0, 1024, 2048), 4096, func(vm *VM) {
+		for i := 0; i < n; i++ {
+			vm.StoreWord(i*4, int32(3*i))
+			vm.StoreWord(1024+i*4, int32(i-7))
+		}
+	})
+	for i := 0; i < n; i++ {
+		if got := vm.LoadWord(2048 + i*4); got != int32(4*i-7) {
+			t.Fatalf("c[%d] = %d, want %d", i, got, 4*i-7)
+		}
+	}
+}
+
+func TestSaxpyProgram(t *testing.T) {
+	const n = 64
+	vm := runProgram(t, SaxpyProgram(n, 0, 256, 1024), 2048, func(vm *VM) {
+		vm.StoreFloat(0, 2.5)
+		for i := 0; i < n; i++ {
+			vm.StoreFloat(256+i*4, float32(i))
+			vm.StoreFloat(1024+i*4, float32(10*i))
+		}
+	})
+	for i := 0; i < n; i++ {
+		want := 2.5*float32(i) + 10*float32(i)
+		if got := vm.LoadFloat(1024 + i*4); got != want {
+			t.Fatalf("y[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestReduceSumProgram(t *testing.T) {
+	const n = 333
+	want := int64(0)
+	vm := runProgram(t, ReduceSumProgram(n, 0), 2048, func(vm *VM) {
+		rng := rand.New(rand.NewSource(50))
+		for i := 0; i < n; i++ {
+			v := int32(rng.Intn(1000) - 500)
+			vm.StoreWord(i*4, v)
+			want += int64(v)
+		}
+	})
+	if vm.Globals[1] != want {
+		t.Fatalf("sum = %d, want %d", vm.Globals[1], want)
+	}
+}
+
+func TestCompactProgram(t *testing.T) {
+	const n = 128
+	wantVals := map[int32]bool{}
+	vm := runProgram(t, CompactProgram(n, 0, 2048), 4096, func(vm *VM) {
+		for i := 0; i < n; i++ {
+			var v int32
+			if i%5 != 0 {
+				v = int32(i + 1000)
+				wantVals[v] = true
+			}
+			vm.StoreWord(i*4, v)
+		}
+	})
+	count := int(vm.Globals[0])
+	if count != len(wantVals) {
+		t.Fatalf("count = %d, want %d", count, len(wantVals))
+	}
+	seen := map[int32]bool{}
+	for i := 0; i < count; i++ {
+		v := vm.LoadWord(2048 + i*4)
+		if !wantVals[v] || seen[v] {
+			t.Fatalf("b[%d] = %d unexpected", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPrefixSumProgram(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100} {
+		vm := runProgram(t, PrefixSumProgram(n, 0, 4096), 8192, func(vm *VM) {
+			for i := 0; i < n; i++ {
+				vm.StoreWord(i*4, int32(i+1))
+			}
+		})
+		base := int(vm.Globals[3])
+		sum := int32(0)
+		for i := 0; i < n; i++ {
+			sum += int32(i + 1)
+			if got := vm.LoadWord(base + i*4); got != sum {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, sum)
+			}
+		}
+	}
+}
+
+func TestBroadcastProgram(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 33, 128} {
+		vm := runProgram(t, BroadcastProgram(n, 0, 1024), 4096, func(vm *VM) {
+			vm.StoreWord(0, 4242)
+		})
+		for i := 0; i < n; i++ {
+			if got := vm.LoadWord(1024 + i*4); got != 4242 {
+				t.Fatalf("n=%d: out[%d] = %d, want 4242", n, i, got)
+			}
+		}
+	}
+}
+
+// The doubling scan takes O(log n) spawns; verify the spawn count.
+func TestPrefixSumLogarithmicSteps(t *testing.T) {
+	vm := runProgram(t, PrefixSumProgram(256, 0, 4096), 8192, func(vm *VM) {
+		for i := 0; i < 256; i++ {
+			vm.StoreWord(i*4, 1)
+		}
+	})
+	// d = 1..128: 8 spawns for n=256.
+	if got := vm.Machine.Counters.Spawns; got != 8 {
+		t.Fatalf("spawns = %d, want 8", got)
+	}
+	base := int(vm.Globals[3])
+	if got := vm.LoadWord(base + 255*4); got != 256 {
+		t.Fatalf("prefix[255] = %d, want 256", got)
+	}
+}

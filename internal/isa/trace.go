@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tracer observes VM execution; the XMT toolchain papers describe
+// "programming, simulating and studying" workloads, and this is the
+// studying part: attach a tracer to profile where a program spends its
+// dynamic instructions.
+type Tracer interface {
+	// SerialInstr fires before each serial-mode instruction.
+	SerialInstr(pc int, in Instr)
+	// ThreadInstr fires before each thread instruction.
+	ThreadInstr(tid, pc int, in Instr)
+	// SpawnBegin fires when a parallel section of n threads starts.
+	SpawnBegin(n int)
+}
+
+// Profile is a Tracer collecting per-instruction execution counts.
+type Profile struct {
+	prog         *Program
+	SerialCounts []uint64
+	ThreadCounts []uint64
+	Spawns       int
+	ThreadsSeen  map[int]bool
+}
+
+// NewProfile builds a profile for prog.
+func NewProfile(prog *Program) *Profile {
+	return &Profile{
+		prog:         prog,
+		SerialCounts: make([]uint64, len(prog.Instrs)),
+		ThreadCounts: make([]uint64, len(prog.Instrs)),
+		ThreadsSeen:  map[int]bool{},
+	}
+}
+
+// SerialInstr implements Tracer.
+func (p *Profile) SerialInstr(pc int, in Instr) { p.SerialCounts[pc]++ }
+
+// ThreadInstr implements Tracer.
+func (p *Profile) ThreadInstr(tid, pc int, in Instr) {
+	p.ThreadCounts[pc]++
+	p.ThreadsSeen[tid] = true
+}
+
+// SpawnBegin implements Tracer.
+func (p *Profile) SpawnBegin(n int) { p.Spawns++ }
+
+// Total returns total dynamic instructions observed.
+func (p *Profile) Total() uint64 {
+	var t uint64
+	for i := range p.SerialCounts {
+		t += p.SerialCounts[i] + p.ThreadCounts[i]
+	}
+	return t
+}
+
+// HotSpots returns instruction indices sorted by descending total
+// count, keeping at most k.
+func (p *Profile) HotSpots(k int) []int {
+	idx := make([]int, len(p.prog.Instrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta := p.SerialCounts[idx[a]] + p.ThreadCounts[idx[a]]
+		tb := p.SerialCounts[idx[b]] + p.ThreadCounts[idx[b]]
+		return ta > tb
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// String renders the disassembly annotated with execution counts.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d dynamic instructions, %d spawns, %d distinct threads\n",
+		p.Total(), p.Spawns, len(p.ThreadsSeen))
+	fmt.Fprintf(&b, "%10s %10s\n", "serial", "thread")
+	for i, in := range p.prog.Instrs {
+		if l := p.prog.LabelAt(i); l != "" {
+			fmt.Fprintf(&b, "%21s %s:\n", "", l)
+		}
+		fmt.Fprintf(&b, "%10d %10d    %s\n", p.SerialCounts[i], p.ThreadCounts[i],
+			in.Disassemble(p.prog.LabelAt))
+	}
+	return b.String()
+}

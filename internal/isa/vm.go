@@ -1,0 +1,440 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xmtfft/internal/xmt"
+)
+
+// Serial-mode timing (MTCU has a private data cache, §II-A).
+const (
+	serialALUCycles = 1
+	serialMemCycles = 3
+	serialFPCycles  = 4
+)
+
+// DefaultMaxThreadInstrs bounds runaway thread bodies.
+const DefaultMaxThreadInstrs = 1 << 20
+
+// DefaultMaxThreads bounds one parallel section's total virtual threads
+// (spawn count plus sspawn extensions).
+const DefaultMaxThreads = 1 << 22
+
+// VM executes an assembled Program on a simulated XMT machine. Shared
+// memory contents are held functionally in Mem while the machine models
+// time; see the package comment for the execution model.
+type VM struct {
+	Machine *xmt.Machine
+	Prog    *Program
+	// Mem is the byte-addressed shared memory. Words are 4 bytes,
+	// little-endian; floating point values are float32.
+	Mem []byte
+	// Globals are the global registers accessed by ps/gset/gget.
+	Globals [NumGlobalRegs]int64
+	// IntRegs and FPRegs are the MTCU's serial-mode register files.
+	IntRegs [NumIntRegs]int64
+	FPRegs  [NumFPRegs]float32
+	// MaxThreadInstrs bounds each virtual thread's dynamic instruction
+	// count (0 means DefaultMaxThreadInstrs).
+	MaxThreadInstrs int
+	// MaxThreads bounds the total virtual threads of one parallel
+	// section, including sspawn extensions — a runaway sspawn chain
+	// would otherwise extend the section forever (0 means
+	// DefaultMaxThreads).
+	MaxThreads int
+
+	// SerialInstrs and ThreadInstrs count executed instructions.
+	SerialInstrs uint64
+	ThreadInstrs uint64
+
+	// Tracer, when non-nil, observes every executed instruction (see
+	// Profile for the provided collector).
+	Tracer Tracer
+
+	threadErr error
+	// childEntries maps sspawn-created thread ids to their entry points.
+	childEntries map[int]int
+}
+
+// NewVM builds a VM with the given shared-memory size in bytes.
+func NewVM(m *xmt.Machine, p *Program, memBytes int) *VM {
+	return &VM{Machine: m, Prog: p, Mem: make([]byte, memBytes)}
+}
+
+// LoadWord reads the int32 word at byte address a (helper for tests and
+// host setup).
+func (vm *VM) LoadWord(a int) int32 {
+	return int32(binary.LittleEndian.Uint32(vm.Mem[a:]))
+}
+
+// StoreWord writes the int32 word at byte address a.
+func (vm *VM) StoreWord(a int, v int32) {
+	binary.LittleEndian.PutUint32(vm.Mem[a:], uint32(v))
+}
+
+// LoadFloat reads the float32 at byte address a.
+func (vm *VM) LoadFloat(a int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(vm.Mem[a:]))
+}
+
+// StoreFloat writes the float32 at byte address a.
+func (vm *VM) StoreFloat(a int, v float32) {
+	binary.LittleEndian.PutUint32(vm.Mem[a:], math.Float32bits(v))
+}
+
+func (vm *VM) checkAddr(a int64) error {
+	if a < 0 || a+4 > int64(len(vm.Mem)) {
+		return fmt.Errorf("isa: memory access at %d outside [0,%d)", a, len(vm.Mem))
+	}
+	return nil
+}
+
+// Run executes the program from instruction 0 in serial mode until halt.
+// It returns the total machine cycles consumed.
+func (vm *VM) Run() (uint64, error) {
+	start := vm.Machine.Now()
+	pc := 0
+	var pending uint64 // serial cycles not yet applied to the machine
+
+	flush := func() {
+		if pending > 0 {
+			vm.Machine.AdvanceSerial(pending)
+			pending = 0
+		}
+	}
+
+	for steps := 0; ; steps++ {
+		if steps > DefaultMaxThreadInstrs {
+			return 0, fmt.Errorf("isa: serial program exceeded %d instructions", DefaultMaxThreadInstrs)
+		}
+		if pc < 0 || pc >= len(vm.Prog.Instrs) {
+			return 0, fmt.Errorf("isa: serial pc %d out of range", pc)
+		}
+		in := vm.Prog.Instrs[pc]
+		vm.SerialInstrs++
+		if vm.Tracer != nil {
+			vm.Tracer.SerialInstr(pc, in)
+		}
+		switch in.Op {
+		case OpHALT:
+			flush()
+			return vm.Machine.Now() - start, nil
+		case OpSPAWN:
+			flush()
+			n := vm.IntRegs[in.Ra]
+			if n < 0 {
+				return 0, fmt.Errorf("isa: spawn with negative thread count %d", n)
+			}
+			vm.threadErr = nil
+			vm.childEntries = map[int]int{}
+			if vm.Tracer != nil {
+				vm.Tracer.SpawnBegin(int(n))
+			}
+			prog := &threadProgram{vm: vm, entry: in.Target}
+			if _, err := vm.Machine.Spawn(int(n), prog); err != nil {
+				return 0, err
+			}
+			if vm.threadErr != nil {
+				return 0, vm.threadErr
+			}
+			pc++
+		case OpJOIN, OpSSPAWN:
+			return 0, fmt.Errorf("isa: %v executed in serial mode (pc %d)", in.Op, pc)
+		default:
+			next, cost, err := vm.exec(in, pc, &vm.IntRegs, &vm.FPRegs, nil)
+			if err != nil {
+				return 0, err
+			}
+			pending += cost
+			pc = next
+		}
+	}
+}
+
+// exec executes one non-spawn, non-halt, non-join instruction against
+// the given register files, returning the next pc and a serial cycle
+// cost. When emit is non-nil (parallel mode) the cost is ignored and
+// micro-ops are emitted instead.
+func (vm *VM) exec(in Instr, pc int, ir *[NumIntRegs]int64, fr *[NumFPRegs]float32, emit *opEmitter) (int, uint64, error) {
+	next := pc + 1
+	var cost uint64 = serialALUCycles
+	setI := func(r uint8, v int64) {
+		if r != 0 { // r0 is hardwired zero
+			ir[r] = v
+		}
+	}
+	switch in.Op {
+	case OpLI:
+		setI(in.Rd, in.Imm)
+	case OpADD:
+		setI(in.Rd, ir[in.Ra]+ir[in.Rb])
+	case OpADDI:
+		setI(in.Rd, ir[in.Ra]+in.Imm)
+	case OpSUB:
+		setI(in.Rd, ir[in.Ra]-ir[in.Rb])
+	case OpAND:
+		setI(in.Rd, ir[in.Ra]&ir[in.Rb])
+	case OpOR:
+		setI(in.Rd, ir[in.Ra]|ir[in.Rb])
+	case OpXOR:
+		setI(in.Rd, ir[in.Ra]^ir[in.Rb])
+	case OpSLL:
+		setI(in.Rd, ir[in.Ra]<<uint(ir[in.Rb]&63))
+	case OpSLLI:
+		setI(in.Rd, ir[in.Ra]<<uint(in.Imm&63))
+	case OpSRL:
+		setI(in.Rd, int64(uint64(ir[in.Ra])>>uint(ir[in.Rb]&63)))
+	case OpSRLI:
+		setI(in.Rd, int64(uint64(ir[in.Ra])>>uint(in.Imm&63)))
+	case OpMUL:
+		setI(in.Rd, ir[in.Ra]*ir[in.Rb])
+		cost = 4
+		if emit != nil {
+			emit.alu(3) // MDU occupancy approximated as extra ALU time
+		}
+	case OpDIV, OpREM:
+		if ir[in.Rb] == 0 {
+			return 0, 0, fmt.Errorf("isa: division by zero at pc %d", pc)
+		}
+		if in.Op == OpDIV {
+			setI(in.Rd, ir[in.Ra]/ir[in.Rb])
+		} else {
+			setI(in.Rd, ir[in.Ra]%ir[in.Rb])
+		}
+		cost = 12
+		if emit != nil {
+			emit.alu(11)
+		}
+	case OpLW, OpLWF:
+		a := ir[in.Ra] + in.Imm
+		if err := vm.checkAddr(a); err != nil {
+			return 0, 0, err
+		}
+		if in.Op == OpLW {
+			setI(in.Rd, int64(vm.LoadWord(int(a))))
+		} else {
+			fr[in.Rd] = vm.LoadFloat(int(a))
+		}
+		cost = serialMemCycles
+		if emit != nil {
+			emit.load(uint64(a))
+		}
+	case OpSW, OpSWF:
+		a := ir[in.Ra] + in.Imm
+		if err := vm.checkAddr(a); err != nil {
+			return 0, 0, err
+		}
+		if in.Op == OpSW {
+			vm.StoreWord(int(a), int32(ir[in.Rd]))
+		} else {
+			vm.StoreFloat(int(a), fr[in.Rd])
+		}
+		cost = serialMemCycles
+		if emit != nil {
+			emit.store(uint64(a))
+		}
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		a, b := fr[in.Ra], fr[in.Rb]
+		var v float32
+		switch in.Op {
+		case OpFADD:
+			v = a + b
+		case OpFSUB:
+			v = a - b
+		case OpFMUL:
+			v = a * b
+		default:
+			v = a / b
+		}
+		fr[in.Rd] = v
+		cost = serialFPCycles
+		if emit != nil {
+			emit.flop(1)
+		}
+	case OpFNEG:
+		fr[in.Rd] = -fr[in.Ra]
+		cost = serialFPCycles
+		if emit != nil {
+			emit.flop(1)
+		}
+	case OpFMOV:
+		fr[in.Rd] = fr[in.Ra]
+	case OpCVTIF:
+		fr[in.Rd] = float32(ir[in.Ra])
+		cost = serialFPCycles
+		if emit != nil {
+			emit.flop(1)
+		}
+	case OpCVTFI:
+		setI(in.Rd, int64(fr[in.Ra]))
+		cost = serialFPCycles
+		if emit != nil {
+			emit.flop(1)
+		}
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		taken := false
+		switch in.Op {
+		case OpBEQ:
+			taken = ir[in.Ra] == ir[in.Rb]
+		case OpBNE:
+			taken = ir[in.Ra] != ir[in.Rb]
+		case OpBLT:
+			taken = ir[in.Ra] < ir[in.Rb]
+		case OpBGE:
+			taken = ir[in.Ra] >= ir[in.Rb]
+		}
+		if taken {
+			next = in.Target
+		}
+	case OpJ:
+		next = in.Target
+	case OpPS:
+		old := vm.Globals[in.Ra]
+		vm.Globals[in.Ra] += ir[in.Rd]
+		setI(in.Rd, old)
+		cost = xmt.PSLatency
+		if emit != nil {
+			emit.ps()
+		}
+	case OpGSET:
+		vm.Globals[in.Rd] = ir[in.Ra]
+	case OpGGET:
+		setI(in.Rd, vm.Globals[in.Ra])
+	default:
+		return 0, 0, fmt.Errorf("isa: cannot execute %v at pc %d", in.Op, pc)
+	}
+	if emit != nil {
+		switch in.Op {
+		case OpLW, OpLWF, OpSW, OpSWF, OpFADD, OpFSUB, OpFMUL, OpFDIV,
+			OpFNEG, OpCVTIF, OpCVTFI, OpPS, OpMUL, OpDIV, OpREM:
+			// already emitted above (plus address ALU below for mem ops)
+		default:
+			emit.alu(1)
+		}
+	}
+	return next, cost, nil
+}
+
+// opEmitter coalesces per-instruction costs into micro-op segments.
+type opEmitter struct {
+	buf     []xmt.Op
+	aluRun  uint32
+	flopRun uint32
+}
+
+func (e *opEmitter) flushALU() {
+	if e.aluRun > 0 {
+		e.buf = append(e.buf, xmt.Op{Kind: xmt.OpALU, N: e.aluRun})
+		e.aluRun = 0
+	}
+}
+
+func (e *opEmitter) flushFLOP() {
+	if e.flopRun > 0 {
+		e.buf = append(e.buf, xmt.Op{Kind: xmt.OpFLOP, N: e.flopRun})
+		e.flopRun = 0
+	}
+}
+
+func (e *opEmitter) alu(n uint32)  { e.flushFLOP(); e.aluRun += n }
+func (e *opEmitter) flop(n uint32) { e.flushALU(); e.flopRun += n }
+
+func (e *opEmitter) load(addr uint64) {
+	e.flushALU()
+	e.flushFLOP()
+	e.buf = append(e.buf, xmt.Load(addr))
+}
+
+func (e *opEmitter) store(addr uint64) {
+	e.flushALU()
+	e.flushFLOP()
+	e.buf = append(e.buf, xmt.Store(addr))
+}
+
+func (e *opEmitter) ps() {
+	e.flushALU()
+	e.flushFLOP()
+	e.buf = append(e.buf, xmt.PS())
+}
+
+// threadProgram adapts thread-body interpretation to xmt.Program.
+type threadProgram struct {
+	vm    *VM
+	entry int
+}
+
+// Thread interprets one virtual thread's body, returning its micro-ops.
+func (tp *threadProgram) Thread(id int, buf []xmt.Op) []xmt.Op {
+	vm := tp.vm
+	if vm.threadErr != nil {
+		return buf
+	}
+	limit := vm.MaxThreadInstrs
+	if limit == 0 {
+		limit = DefaultMaxThreadInstrs
+	}
+	var ir [NumIntRegs]int64
+	var fr [NumFPRegs]float32
+	ir[TIDReg] = int64(id)
+	em := &opEmitter{buf: buf}
+	pc := tp.entry
+	if e, ok := vm.childEntries[id]; ok {
+		pc = e
+	}
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			vm.threadErr = fmt.Errorf("isa: thread %d exceeded %d instructions", id, limit)
+			return em.buf
+		}
+		if pc < 0 || pc >= len(vm.Prog.Instrs) {
+			vm.threadErr = fmt.Errorf("isa: thread %d pc %d out of range", id, pc)
+			return em.buf
+		}
+		in := vm.Prog.Instrs[pc]
+		if vm.Tracer != nil {
+			vm.Tracer.ThreadInstr(id, pc, in)
+		}
+		if in.Op == OpJOIN {
+			vm.ThreadInstrs++
+			em.flushALU()
+			em.flushFLOP()
+			return em.buf
+		}
+		if in.Op == OpSSPAWN {
+			maxTh := vm.MaxThreads
+			if maxTh == 0 {
+				maxTh = DefaultMaxThreads
+			}
+			child, err := vm.Machine.ExtendSpawn(1)
+			if err != nil {
+				vm.threadErr = fmt.Errorf("thread %d: %w", id, err)
+				return em.buf
+			}
+			if child >= maxTh {
+				vm.threadErr = fmt.Errorf("isa: sspawn chain exceeded %d threads", maxTh)
+				return em.buf
+			}
+			vm.childEntries[child] = in.Target
+			if in.Rd != 0 {
+				ir[in.Rd] = int64(child)
+			}
+			em.ps() // the allocation round-trip through the PS unit
+			vm.ThreadInstrs++
+			pc++
+			continue
+		}
+		if in.Op == OpSPAWN || in.Op == OpHALT || in.Op == OpGSET {
+			vm.threadErr = fmt.Errorf("isa: thread %d executed serial-only %v at pc %d", id, in.Op, pc)
+			return em.buf
+		}
+		next, _, err := vm.exec(in, pc, &ir, &fr, em)
+		if err != nil {
+			vm.threadErr = fmt.Errorf("thread %d: %w", id, err)
+			return em.buf
+		}
+		vm.ThreadInstrs++
+		pc = next
+	}
+}

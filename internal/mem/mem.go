@@ -1,0 +1,323 @@
+// Package mem models the XMT shared-memory system: a global address
+// space hashed across memory modules (MMs), each comprising an on-chip
+// cache slice in front of a (possibly shared) DRAM channel, as described
+// in §II-A of the paper. The model is timing-only: simulated data values
+// live in the workload's own Go slices, while this package answers "when
+// does this access complete and what did it cost".
+//
+// First-order effects modeled, matching the paper's analysis:
+//   - each MM accepts one access per cycle, so concurrent accesses to the
+//     same module (and in particular to the same location, e.g. a shared
+//     twiddle table entry) are queued;
+//   - cache misses fetch whole lines (CacheLineBytes), so strided access
+//     (the FFT rotation phase) pays line-granularity overfetch;
+//   - several MMs may share one DRAM controller (8/4/1 depending on the
+//     configuration), bounding off-chip bandwidth;
+//   - dirty evictions consume writeback bandwidth.
+package mem
+
+import (
+	"fmt"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/sim"
+)
+
+// Timing constants (cycles). These are micro-architecture calibration
+// parameters, not published figures; see DESIGN.md §5.
+const (
+	// CacheHitLatency is the cache-slice access latency on a hit.
+	CacheHitLatency = 3
+	// DRAMAccessLatency is the fixed DRAM access latency added to a miss
+	// (~30 ns at 3.3 GHz).
+	DRAMAccessLatency = 100
+	// lineTransferCycles is the channel occupancy of one line transfer:
+	// CacheLineBytes / DRAMBytesPerCycle.
+	lineTransferCycles = config.CacheLineBytes / config.DRAMBytesPerCycle
+	// RowBytes is the DRAM row-buffer (page) size per channel.
+	RowBytes = 2048
+	// RowActivateCycles is the extra latency of opening a new row. With
+	// enough banks, activates overlap transfers, so the penalty is
+	// latency-only (channel occupancy is unaffected) — consistent with
+	// the sustained-bandwidth calibration of the analytic model.
+	RowActivateCycles = 24
+)
+
+// HashAddress maps a byte address to a memory module index. The XMT
+// design hashes the global address space across MMs at cache-line
+// granularity; we use a Fibonacci (multiplicative) hash so that both
+// unit-stride and large-power-of-two-stride streams spread evenly, which
+// is the property the real hash is chosen for.
+func HashAddress(addr uint64, modules int) int {
+	line := addr / config.CacheLineBytes
+	h := line * 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+	return int(h >> 32 % uint64(modules))
+}
+
+// AccessResult reports the outcome of one timed memory access.
+type AccessResult struct {
+	Done   uint64 // cycle at which the value is available / committed
+	Hit    bool   // whether the access hit in the module's cache slice
+	Module int    // memory module that served it
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// channel is one DRAM channel: a bandwidth port plus an open-row
+// register modeling the row buffer.
+type channel struct {
+	port    sim.Port
+	openRow uint64
+	hasRow  bool
+	// RowHits and RowMisses count row-buffer outcomes.
+	RowHits, RowMisses uint64
+}
+
+// transfer schedules one line transfer of the line containing addr,
+// returning (grant cycle, extra latency from a row activate).
+func (ch *channel) transfer(t uint64, addr uint64) (uint64, uint64) {
+	g := ch.port.GrantN(t, lineTransferCycles)
+	row := addr / RowBytes
+	var extra uint64
+	if ch.hasRow && ch.openRow == row {
+		ch.RowHits++
+	} else {
+		ch.RowMisses++
+		extra = RowActivateCycles
+		ch.openRow = row
+		ch.hasRow = true
+	}
+	return g, extra
+}
+
+// module is one memory module: a set-associative cache slice plus a port.
+type module struct {
+	port    sim.Port
+	sets    [][]line
+	setMask uint64
+	channel *channel // shared DRAM channel
+	useTick uint64
+}
+
+// System is the whole memory system for one machine configuration.
+type System struct {
+	cfg      config.Config
+	modules  []*module
+	channels []*channel
+
+	// Prefetch enables a next-line prefetcher in each memory module
+	// (§II-A lists prefetching among XMT's performance enhancements): a
+	// demand miss also fetches the following line if absent, hiding the
+	// DRAM latency of streaming access at the cost of overfetch on
+	// irregular patterns. Off by default so traffic accounting matches
+	// the analytic model; the prefetch ablation turns it on.
+	Prefetch bool
+	// Prefetches counts issued prefetch fills.
+	Prefetches uint64
+
+	// Statistics.
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	DRAMBytes  uint64
+	// QueueDelay accumulates cycles requests spent waiting for module
+	// ports, a direct measure of the queuing the paper describes for
+	// concurrent same-module accesses.
+	QueueDelay uint64
+}
+
+// NewSystem builds the memory system for cfg. The cache geometry is
+// CacheBytesPerModule split into CacheLineBytes lines, 4-way associative.
+func NewSystem(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := config.CacheBytesPerModule / config.CacheLineBytes
+	const ways = 4
+	sets := lines / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: cache geometry gives %d sets; want a power of two", sets)
+	}
+	s := &System{cfg: cfg}
+	s.channels = make([]*channel, cfg.DRAMChannels())
+	for i := range s.channels {
+		s.channels[i] = &channel{port: sim.Port{Width: 1}}
+	}
+	s.modules = make([]*module, cfg.MemModules)
+	for i := range s.modules {
+		m := &module{setMask: uint64(sets - 1), channel: s.channels[i/cfg.MMsPerDRAMCtrl]}
+		m.sets = make([][]line, sets)
+		backing := make([]line, sets*ways)
+		for j := range m.sets {
+			m.sets[j], backing = backing[:ways], backing[ways:]
+		}
+		s.modules[i] = m
+	}
+	return s, nil
+}
+
+// Config returns the configuration the system was built for.
+func (s *System) Config() config.Config { return s.cfg }
+
+// Access performs one word access to addr arriving at its memory module
+// at cycle t (NoC traversal time is the caller's concern) and returns
+// when it completes. Write accesses allocate on miss (fetch-on-write)
+// and mark the line dirty.
+func (s *System) Access(t uint64, addr uint64, write bool) AccessResult {
+	mi := HashAddress(addr, len(s.modules))
+	m := s.modules[mi]
+
+	grant := m.port.Grant(t)
+	s.QueueDelay += grant - t
+
+	tag := addr / config.CacheLineBytes
+	set := m.sets[tag&m.setMask]
+	m.useTick++
+
+	// Hit path.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = m.useTick
+			if write {
+				set[i].dirty = true
+			}
+			s.Hits++
+			return AccessResult{Done: grant + CacheHitLatency, Hit: true, Module: mi}
+		}
+	}
+
+	// Miss: choose LRU victim, write back if dirty, fetch the line.
+	s.Misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	start := grant + CacheHitLatency // tag check before channel request
+	if set[victim].valid && set[victim].dirty {
+		// Writeback occupies the channel but the demand fetch need not
+		// wait for its completion beyond channel serialization.
+		victimAddr := set[victim].tag * config.CacheLineBytes
+		m.channel.transfer(start, victimAddr)
+		s.Writebacks++
+		s.DRAMBytes += config.CacheLineBytes
+	}
+	fetch, activate := m.channel.transfer(start, addr)
+	s.DRAMBytes += config.CacheLineBytes
+	done := fetch + lineTransferCycles + DRAMAccessLatency + activate
+
+	set[victim] = line{tag: tag, valid: true, dirty: write, used: m.useTick}
+
+	if s.Prefetch {
+		s.prefetchLine(start, addr+config.CacheLineBytes)
+	}
+	return AccessResult{Done: done, Hit: false, Module: mi}
+}
+
+// prefetchLine fills the line containing addr into its owning module if
+// absent (address hashing scatters consecutive lines across modules, so
+// the prefetch crosses to wherever the next line lives). The demand
+// access does not wait for it; the fill consumes channel bandwidth and
+// a cache way like any other fill.
+func (s *System) prefetchLine(t uint64, addr uint64) {
+	m := s.modules[HashAddress(addr, len(s.modules))]
+	tag := addr / config.CacheLineBytes
+	set := m.sets[tag&m.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return // already resident
+		}
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		victimAddr := set[victim].tag * config.CacheLineBytes
+		m.channel.transfer(t, victimAddr)
+		s.Writebacks++
+		s.DRAMBytes += config.CacheLineBytes
+	}
+	m.channel.transfer(t, addr)
+	s.DRAMBytes += config.CacheLineBytes
+	s.Prefetches++
+	m.useTick++
+	set[victim] = line{tag: tag, valid: true, used: m.useTick}
+}
+
+// Flush writes back all dirty lines, returning the number written back.
+// Used between FFT passes when measuring pure per-pass DRAM traffic.
+func (s *System) Flush() int {
+	n := 0
+	for _, m := range s.modules {
+		for si := range m.sets {
+			for li := range m.sets[si] {
+				l := &m.sets[si][li]
+				if l.valid && l.dirty {
+					l.dirty = false
+					n++
+					s.Writebacks++
+					s.DRAMBytes += config.CacheLineBytes
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Invalidate drops all cached lines without writeback (test helper for
+// constructing cold-cache scenarios).
+func (s *System) Invalidate() {
+	for _, m := range s.modules {
+		for si := range m.sets {
+			for li := range m.sets[si] {
+				m.sets[si][li] = line{}
+			}
+		}
+	}
+}
+
+// ChannelBusy returns total busy slots summed over DRAM channels,
+// usable with a run's cycle count to compute DRAM utilization.
+func (s *System) ChannelBusy() uint64 {
+	var b uint64
+	for _, ch := range s.channels {
+		b += ch.port.Busy
+	}
+	return b
+}
+
+// RowBufferStats returns aggregate DRAM row-buffer hits and misses.
+func (s *System) RowBufferStats() (hits, misses uint64) {
+	for _, ch := range s.channels {
+		hits += ch.RowHits
+		misses += ch.RowMisses
+	}
+	return hits, misses
+}
+
+// ModuleLoad returns per-module port busy counts, for checking that
+// address hashing spreads traffic evenly.
+func (s *System) ModuleLoad() []uint64 {
+	out := make([]uint64, len(s.modules))
+	for i, m := range s.modules {
+		out[i] = m.port.Busy
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package model_test
+
+import (
+	"fmt"
+	"log"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/model"
+)
+
+// Project the paper's headline experiment: the 512³ FFT on the largest
+// configuration.
+func ExampleProject3D() {
+	cfg := config.OneTwentyEightKx4()
+	p, err := model.Project3D(cfg, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.1f TFLOPS (paper reports 19.0)\n", cfg.Name, p.GFLOPS/1000)
+	fmt.Printf("rotation intensity %.3f < non-rotation %.3f\n",
+		p.Rotation.Intensity, p.Stream.Intensity)
+	// Output:
+	// 128k x4: 18.4 TFLOPS (paper reports 19.0)
+	// rotation intensity 0.422 < non-rotation 0.562
+}
+
+// The roofline of a configuration bounds any achievable point.
+func ExampleRooflineOf() {
+	roof := model.RooflineOf(config.FourK())
+	fmt.Printf("peak %.0f GFLOPS, %.0f GB/s, ridge %.0f FLOPs/byte\n",
+		roof.PeakGFLOPS, roof.PeakGBs, roof.Ridge)
+	fmt.Printf("bound at 0.5 FLOPs/byte: %.0f GFLOPS\n", roof.Bound(0.5))
+	// Output:
+	// peak 422 GFLOPS, 422 GB/s, ridge 1 FLOPs/byte
+	// bound at 0.5 FLOPs/byte: 211 GFLOPS
+}

@@ -1,0 +1,226 @@
+// Package model is the analytic performance model that projects the
+// paper's 512³ FFT results (Tables IV-VI and Fig. 3) onto each XMT
+// configuration. A per-event simulation of the full 18-GFLOP workload is
+// infeasible in-process, so — exactly as the paper does with XMTSim —
+// the headline numbers come from a model of the machine's binding
+// resources, calibrated against the detailed event simulator of
+// internal/xmt on sizes where both run (see the cross-validation tests).
+//
+// Per pass, three times are computed and combined:
+//
+//   - compute: total FLOPs through clusters × FPUs at 1 FLOP/cycle;
+//   - DRAM: bytes moved over the aggregate channel bandwidth, with
+//     write-allocate accounting (a streamed store costs a line fetch
+//     plus an eventual writeback) and a rotation-pass write
+//     amplification for the strided, line-underutilizing writes of the
+//     fused FFT+rotation pass;
+//   - NoC: word traffic (data + twiddle reads) over the aggregate
+//     injection bandwidth derated by a calibrated per-butterfly-level
+//     acceptance factor (pure MoT networks are non-blocking).
+//
+// Pass time = max(compute, sqrt(dram² + noc²)): DRAM and interconnect
+// queueing delays compound (requests traverse both in series and the
+// queues interact), while compute either hides under memory time or
+// dominates outright. The sqrt combination reproduces both the
+// bandwidth-bound small configurations and the NoC-choked large ones;
+// see DESIGN.md §5 and EXPERIMENTS.md for paper-vs-model numbers.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+)
+
+// Calibration constants (derived in DESIGN.md §5; bytes are per point
+// per pass for single-precision complex data).
+const (
+	// StreamReadBytes: one 8-byte complex read, missing once per line.
+	StreamReadBytes = 8
+	// StreamWriteBytes: write-allocate fetch + writeback per 8 bytes.
+	StreamWriteBytes = 16
+	// RotationWriteAmp: fraction of rotated-store lines that are not
+	// fully coalesced before eviction, amplifying write traffic.
+	RotationWriteAmp = 1.5
+	// NoCDataBytes: request words crossing the interconnect per point
+	// (8 B loaded + 8 B stored).
+	NoCDataBytes = 16
+	// NoCLevelFactor is the calibrated per-butterfly-level acceptance
+	// under FFT traffic: between the unbuffered 2×2-switch recurrence
+	// (≈0.86-0.95 per level in this range) and the buffered ideal 1.0.
+	NoCLevelFactor = 0.89
+	// RotationNoCFactor derates NoC acceptance during rotation passes,
+	// whose converging transpose traffic is harsher than uniform.
+	RotationNoCFactor = 1.0
+)
+
+// PhasePoint is one marker of Fig. 3: a phase's position in the
+// Roofline plane plus its absolute time.
+type PhasePoint struct {
+	Name         string
+	TimeSec      float64
+	Flops        float64 // actual FLOPs (Roofline convention, §VI-B)
+	DRAMBytes    float64
+	ActualGFLOPS float64 // Flops / TimeSec / 1e9
+	Intensity    float64 // Flops / DRAMBytes
+}
+
+// Projection is the modeled execution of one 3D FFT on one config.
+type Projection struct {
+	Cfg      config.Config
+	N        int    // points per dimension for cubic inputs (= Dims[2])
+	Dims     [3]int // full array shape
+	Stream   PhasePoint
+	Rotation PhasePoint
+	Overall  PhasePoint
+	// GFLOPS is the headline number under the 5·N·log2(N) convention
+	// used by Tables IV-VI.
+	GFLOPS float64
+}
+
+// TotalPoints returns the array size.
+func (p Projection) TotalPoints() int { return p.Dims[0] * p.Dims[1] * p.Dims[2] }
+
+// NoCEffectiveGBs returns the usable aggregate NoC bandwidth of cfg
+// under the calibrated acceptance model.
+func NoCEffectiveGBs(cfg config.Config) float64 {
+	return cfg.AggregateNoCBandwidthGBs() * math.Pow(NoCLevelFactor, float64(cfg.ButterflyLevels))
+}
+
+// passModel times one breadth-first pass over total points with the
+// given radix.
+type passTimes struct {
+	compute, dram, noc float64 // seconds
+	flops, dramBytes   float64
+}
+
+func passTime(cfg config.Config, points float64, radix int, rotation bool) passTimes {
+	flopsPerPoint := float64(core.FlopsPerButterfly(radix)) / float64(radix)
+	twiddleNoC := 8 * float64(radix-1) / float64(radix) // replicated-table reads
+
+	var t passTimes
+	t.flops = flopsPerPoint * points
+	wb := float64(StreamWriteBytes)
+	if rotation {
+		wb *= RotationWriteAmp
+	}
+	t.dramBytes = (StreamReadBytes + wb) * points
+
+	peakFlops := cfg.PeakGFLOPS() * 1e9
+	peakDRAM := cfg.PeakDRAMBandwidthGBs() * 1e9
+	nocBW := NoCEffectiveGBs(cfg) * 1e9
+	if rotation {
+		nocBW *= RotationNoCFactor
+	}
+
+	t.compute = t.flops / peakFlops
+	t.dram = t.dramBytes / peakDRAM
+	t.noc = (NoCDataBytes + twiddleNoC) * points / nocBW
+	return t
+}
+
+// combine folds the three resource times into a pass duration.
+func (t passTimes) combine() float64 {
+	mem := math.Sqrt(t.dram*t.dram + t.noc*t.noc)
+	return math.Max(t.compute, mem)
+}
+
+// Project3D models a single-precision n×n×n FFT on cfg, mirroring the
+// kernel's structure: per dimension, log_r(n) breadth-first passes with
+// the last pass of each round fused with the axis rotation.
+func Project3D(cfg config.Config, n int) (Projection, error) {
+	return Project3DDims(cfg, n, n, n)
+}
+
+// Project3DDims models a d0×d1×d2 FFT (used by the weak-scaling study,
+// whose working sets grow one axis at a time). Rounds transform row
+// lengths d2, d1, d0 in the rotation order of the kernel.
+func Project3DDims(cfg config.Config, d0, d1, d2 int) (Projection, error) {
+	if err := cfg.Validate(); err != nil {
+		return Projection{}, err
+	}
+	points := float64(d0) * float64(d1) * float64(d2)
+
+	var stream, rot PhasePoint
+	stream.Name, rot.Name = "non-rotation", "rotation"
+	for _, rowLen := range []int{d2, d1, d0} {
+		radices, err := fft.Radices(rowLen)
+		if err != nil {
+			return Projection{}, err
+		}
+		for p, r := range radices {
+			last := p == len(radices)-1
+			t := passTime(cfg, points, r, last)
+			dst := &stream
+			if last {
+				dst = &rot
+			}
+			dst.TimeSec += t.combine()
+			dst.Flops += t.flops
+			dst.DRAMBytes += t.dramBytes
+		}
+	}
+	finish := func(p *PhasePoint) {
+		if p.TimeSec > 0 {
+			p.ActualGFLOPS = p.Flops / p.TimeSec / 1e9
+		}
+		if p.DRAMBytes > 0 {
+			p.Intensity = p.Flops / p.DRAMBytes
+		}
+	}
+	finish(&stream)
+	finish(&rot)
+	overall := PhasePoint{
+		Name:      "overall",
+		TimeSec:   stream.TimeSec + rot.TimeSec,
+		Flops:     stream.Flops + rot.Flops,
+		DRAMBytes: stream.DRAMBytes + rot.DRAMBytes,
+	}
+	finish(&overall)
+
+	std := 5 * points * math.Log2(points)
+	return Projection{
+		Cfg: cfg, N: d2, Dims: [3]int{d0, d1, d2},
+		Stream: stream, Rotation: rot, Overall: overall,
+		GFLOPS: std / overall.TimeSec / 1e9,
+	}, nil
+}
+
+// ProjectCycles returns the modeled cycle count of Project3D at the
+// machine clock, for cross-validation against the event simulator.
+func ProjectCycles(cfg config.Config, n int) (uint64, error) {
+	p, err := Project3D(cfg, n)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(p.Overall.TimeSec * config.ClockGHz * 1e9), nil
+}
+
+// Roofline describes a configuration's roof for Fig. 3.
+type Roofline struct {
+	PeakGFLOPS float64
+	PeakGBs    float64
+	Ridge      float64 // FLOPs/byte where the roof flattens
+}
+
+// RooflineOf returns cfg's roofline parameters.
+func RooflineOf(cfg config.Config) Roofline {
+	return Roofline{
+		PeakGFLOPS: cfg.PeakGFLOPS(),
+		PeakGBs:    cfg.PeakDRAMBandwidthGBs(),
+		Ridge:      cfg.RidgeIntensity(),
+	}
+}
+
+// Bound returns the roofline ceiling (GFLOPS) at the given intensity.
+func (r Roofline) Bound(intensity float64) float64 {
+	return math.Min(r.PeakGFLOPS, intensity*r.PeakGBs)
+}
+
+func (p Projection) String() string {
+	return fmt.Sprintf("%s n=%d: %.0f GFLOPS (5NlogN), overall %.0f GFLOPS actual at %.3f FLOPs/B",
+		p.Cfg.Name, p.N, p.GFLOPS, p.Overall.ActualGFLOPS, p.Overall.Intensity)
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"xmtfft/internal/baseline"
+	"xmtfft/internal/config"
+)
+
+// PaperN is the per-dimension input size of the paper's evaluation
+// (512×512×512 single-precision complex).
+const PaperN = 512
+
+// PaperTableIV holds the published Table IV GFLOPS for comparison.
+var PaperTableIV = map[string]float64{
+	config.Name4K:     239,
+	config.Name8K:     500,
+	config.Name64K:    3667,
+	config.Name128Kx2: 12570,
+	config.Name128Kx4: 18972,
+}
+
+// PaperTableV holds the published Table V speedups.
+var PaperTableV = map[string][2]float64{ // {vs serial, vs 32 threads}
+	config.Name4K:     {31, 2.8},
+	config.Name8K:     {66, 5.8},
+	config.Name64K:    {482, 43},
+	config.Name128Kx2: {1652, 147},
+	config.Name128Kx4: {2494, 222},
+}
+
+// TableIV projects the 512³ FFT on every paper configuration.
+func TableIV() ([]Projection, error) {
+	cfgs := config.Paper()
+	out := make([]Projection, 0, len(cfgs))
+	for _, c := range cfgs {
+		p, err := Project3D(c, PaperN)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SpeedupRow is one configuration's Table V entry.
+type SpeedupRow struct {
+	Cfg             config.Config
+	GFLOPS          float64
+	VsSerialFFTW    float64
+	VsParallelFFTW  float64
+	PaperVsSerial   float64
+	PaperVsParallel float64
+}
+
+// TableV computes speedups of the Table IV projections over the
+// published FFTW baselines.
+func TableV() ([]SpeedupRow, error) {
+	projs, err := TableIV()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpeedupRow, 0, len(projs))
+	for _, p := range projs {
+		paper := PaperTableV[p.Cfg.Name]
+		rows = append(rows, SpeedupRow{
+			Cfg:             p.Cfg,
+			GFLOPS:          p.GFLOPS,
+			VsSerialFFTW:    p.GFLOPS / baseline.FFTWSerialGFLOPS,
+			VsParallelFFTW:  p.GFLOPS / baseline.FFTWParallelGFLOPS,
+			PaperVsSerial:   paper[0],
+			PaperVsParallel: paper[1],
+		})
+	}
+	return rows, nil
+}
+
+// EdisonComparison is Table VI: Edison's published column next to the
+// computed XMT 128k x4 column.
+type EdisonComparison struct {
+	Edison baseline.Edison
+
+	XMTCfg           config.Config
+	XMTProcessors    int
+	XMTGroups        int
+	XMTCacheMB       float64
+	XMTChips         int
+	XMTSiliconCM2    float64 // at its native 14 nm process
+	XMTNormalizedCM2 float64 // normalized to 22 nm via Intel's 0.54 factor
+	XMTPeakPowerKW   float64
+	XMTPeakTFLOPS    float64
+	XMTFFTTFLOPS     float64 // modeled, 512^3
+	XMTPercentOfPeak float64
+	SpeedupRatio     float64 // XMT FFT TFLOPS / Edison FFT TFLOPS
+	SiliconRatio     float64 // Edison normalized area / XMT normalized area
+	PowerRatio       float64
+}
+
+// TableVI computes the Edison comparison for the 128k x4 configuration.
+func TableVI() (EdisonComparison, error) {
+	cfg := config.OneTwentyEightKx4()
+	proj, err := Project3D(cfg, PaperN)
+	if err != nil {
+		return EdisonComparison{}, err
+	}
+	e := baseline.EdisonData()
+	xmtNorm := cfg.TotalSiAreaMM2() / 100 / baseline.Intel14to22AreaFactor // cm², 14→22 nm
+	c := EdisonComparison{
+		Edison:           e,
+		XMTCfg:           cfg,
+		XMTProcessors:    cfg.TCUs,
+		XMTGroups:        cfg.Clusters,
+		XMTCacheMB:       float64(cfg.TotalCacheBytes()) / (1024 * 1024),
+		XMTChips:         1,
+		XMTSiliconCM2:    cfg.TotalSiAreaMM2() / 100,
+		XMTNormalizedCM2: xmtNorm,
+		XMTPeakPowerKW:   baseline.XMTPowerKW,
+		XMTPeakTFLOPS:    cfg.PeakGFLOPS() / 1000,
+		XMTFFTTFLOPS:     proj.GFLOPS / 1000,
+	}
+	c.XMTPercentOfPeak = c.XMTFFTTFLOPS / c.XMTPeakTFLOPS * 100
+	c.SpeedupRatio = c.XMTFFTTFLOPS / e.FFTTFLOPS
+	c.SiliconRatio = e.NormalizedCM2 / c.XMTNormalizedCM2
+	c.PowerRatio = e.PeakPowerKW / c.XMTPeakPowerKW
+	return c, nil
+}
+
+// SiliconComparison4K reproduces §VI-A's area argument: the 4k XMT
+// configuration against one and two E5-2690 sockets at 22 nm.
+type SiliconComparison4K struct {
+	XMTAreaMM2        float64
+	XeonAreaMM2At22   float64
+	AreaVsOneSocket   float64 // 4k area / one Xeon (paper: ~1.15)
+	AreaVsTwoSockets  float64 // 4k area / two Xeons (paper: ~0.58)
+	SpeedupVs32Thread float64 // paper: 2.8
+}
+
+// SiliconVsXeon computes the §VI-A comparison from the model.
+func SiliconVsXeon() (SiliconComparison4K, error) {
+	cfg := config.FourK()
+	proj, err := Project3D(cfg, PaperN)
+	if err != nil {
+		return SiliconComparison4K{}, err
+	}
+	xeon := baseline.XeonAreaAt22nm()
+	return SiliconComparison4K{
+		XMTAreaMM2:        cfg.TotalSiAreaMM2(),
+		XeonAreaMM2At22:   xeon,
+		AreaVsOneSocket:   cfg.TotalSiAreaMM2() / xeon,
+		AreaVsTwoSockets:  cfg.TotalSiAreaMM2() / (2 * xeon),
+		SpeedupVs32Thread: proj.GFLOPS / baseline.FFTWParallelGFLOPS,
+	}, nil
+}
+
+// EnergyComparison extends Table VI with energy per unit of FFT work
+// (power ÷ throughput): the paper reports the power (375x) and speedup
+// (1.4x) ratios separately; their product is the energy-efficiency
+// ratio per FFT.
+type EnergyComparison struct {
+	XMTJoulesPerGFLOP    float64 // 128k x4, modeled FFT throughput
+	EdisonJoulesPerGFLOP float64 // published Edison FFT throughput
+	EfficiencyRatio      float64 // Edison / XMT (higher = XMT better)
+}
+
+// EnergyVsEdison computes the energy-per-work comparison.
+func EnergyVsEdison() (EnergyComparison, error) {
+	c, err := TableVI()
+	if err != nil {
+		return EnergyComparison{}, err
+	}
+	xmt := c.XMTPeakPowerKW * 1e3 / (c.XMTFFTTFLOPS * 1e3) // W per GFLOPS = J per GFLOP
+	edison := c.Edison.PeakPowerKW * 1e3 / (c.Edison.FFTTFLOPS * 1e3)
+	return EnergyComparison{
+		XMTJoulesPerGFLOP:    xmt,
+		EdisonJoulesPerGFLOP: edison,
+		EfficiencyRatio:      edison / xmt,
+	}, nil
+}

@@ -1,0 +1,110 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// measured in clock cycles. It is the substrate beneath the XMT machine
+// model: every hardware structure (TCU, cluster port, cache module, DRAM
+// channel, NoC switch) advances by scheduling events on a shared Engine.
+//
+// Determinism: events scheduled for the same cycle fire in the order they
+// were scheduled (FIFO within a cycle), so repeated runs of the same
+// workload produce identical cycle counts.
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a particular cycle.
+type event struct {
+	time uint64 // cycle at which the event fires
+	seq  uint64 // tie-breaker preserving schedule order within a cycle
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator clocked in cycles.
+// The zero value is ready to use.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+	// Processed counts events executed; useful for progress reporting and
+	// for bounding runaway simulations in tests.
+	Processed uint64
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Schedule runs fn after delay cycles (delay 0 means later in the current
+// cycle, after already-pending same-cycle events).
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at the absolute cycle t. Scheduling in the past panics: it
+// would silently corrupt causality.
+func (e *Engine) At(t uint64, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the single next event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.time
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the final cycle.
+func (e *Engine) Run() uint64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit. Events beyond the limit
+// remain queued. It returns the current cycle afterwards.
+func (e *Engine) RunUntil(limit uint64) uint64 {
+	for len(e.events) > 0 && e.events[0].time <= limit {
+		e.Step()
+	}
+	if e.now < limit && len(e.events) == 0 {
+		e.now = limit
+	}
+	return e.now
+}

@@ -1,0 +1,192 @@
+// Package spectral provides the classic spectral-analysis estimators on
+// top of internal/fft — Welch's averaged periodogram, cross-correlation
+// and the short-time Fourier transform — the application surface of the
+// signal-processing domain the paper's introduction motivates.
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"xmtfft/internal/fft"
+)
+
+// PSD is a one-sided power spectral density estimate.
+type PSD struct {
+	Freqs []float64 // Hz, length segLen/2+1
+	Power []float64 // power per Hz
+	// Segments is how many periodogram segments were averaged.
+	Segments int
+}
+
+// Welch estimates the one-sided PSD of the real signal x sampled at fs
+// Hz using Welch's method: overlapping windowed segments of length
+// segLen (a power of two), periodograms averaged and normalized by the
+// window's power so white noise of variance σ² integrates to σ².
+func Welch(x []float64, fs float64, segLen, overlap int, w fft.Window) (*PSD, error) {
+	if fs <= 0 {
+		return nil, fmt.Errorf("spectral: sample rate %g must be positive", fs)
+	}
+	if !fft.IsPowerOfTwo(segLen) || segLen < 2 {
+		return nil, fmt.Errorf("spectral: segment length %d must be a power of two >= 2", segLen)
+	}
+	if overlap < 0 || overlap >= segLen {
+		return nil, fmt.Errorf("spectral: overlap %d must be in [0, %d)", overlap, segLen)
+	}
+	if len(x) < segLen {
+		return nil, fmt.Errorf("spectral: signal length %d shorter than one segment (%d)", len(x), segLen)
+	}
+	hop := segLen - overlap
+	coeffs := w.Coefficients(segLen)
+	var windowPower float64
+	for _, c := range coeffs {
+		windowPower += c * c
+	}
+
+	bins := segLen/2 + 1
+	psd := &PSD{Freqs: make([]float64, bins), Power: make([]float64, bins)}
+	for k := range psd.Freqs {
+		psd.Freqs[k] = float64(k) * fs / float64(segLen)
+	}
+	seg := make([]float64, segLen)
+	for start := 0; start+segLen <= len(x); start += hop {
+		for i := range seg {
+			seg[i] = x[start+i] * coeffs[i]
+		}
+		spec, err := fft.RealForward[complex128](seg)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range spec {
+			p := real(v)*real(v) + imag(v)*imag(v)
+			if k != 0 && k != segLen/2 {
+				p *= 2 // one-sided: fold negative frequencies
+			}
+			psd.Power[k] += p / (fs * windowPower)
+		}
+		psd.Segments++
+	}
+	for k := range psd.Power {
+		psd.Power[k] /= float64(psd.Segments)
+	}
+	return psd, nil
+}
+
+// TotalPower integrates the PSD over frequency (trapezoid-free: bin
+// width times power), approximating the signal variance.
+func (p *PSD) TotalPower() float64 {
+	if len(p.Freqs) < 2 {
+		return 0
+	}
+	df := p.Freqs[1] - p.Freqs[0]
+	var s float64
+	for _, v := range p.Power {
+		s += v * df
+	}
+	return s
+}
+
+// PeakFreq returns the frequency of the strongest non-DC bin.
+func (p *PSD) PeakFreq() float64 {
+	best, bestP := 0, 0.0
+	for k := 1; k < len(p.Power); k++ {
+		if p.Power[k] > bestP {
+			best, bestP = k, p.Power[k]
+		}
+	}
+	return p.Freqs[best]
+}
+
+// CrossCorrelate returns the circular cross-correlation
+// r[l] = Σ_j a[j]·conj(b[j−l]) computed via IFFT(FFT(a)·conj(FFT(b))).
+// The lag of the maximum magnitude locates b's shift within a.
+func CrossCorrelate(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("spectral: length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	p, err := fft.NewPlan[complex128](n, fft.WithNorm(fft.NormNone))
+	if err != nil {
+		return nil, err
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	if err := p.TransformTo(fa, a, fft.Forward); err != nil {
+		return nil, err
+	}
+	if err := p.TransformTo(fb, b, fft.Forward); err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		fa[i] *= cmplx.Conj(fb[i])
+	}
+	if err := p.Transform(fa, fft.Inverse); err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		fa[i] /= complex(float64(n), 0)
+	}
+	return fa, nil
+}
+
+// PeakLag returns the lag (0..n-1) maximizing |r[l]|.
+func PeakLag(r []complex128) int {
+	best, bestM := 0, 0.0
+	for l, v := range r {
+		if m := cmplx.Abs(v); m > bestM {
+			best, bestM = l, m
+		}
+	}
+	return best
+}
+
+// Spectrogram is an STFT magnitude matrix: Mag[frame][bin].
+type Spectrogram struct {
+	Mag     [][]float64
+	HopSec  float64 // seconds per frame hop
+	FreqRes float64 // Hz per bin
+}
+
+// STFT computes the magnitude spectrogram of the real signal x with the
+// given segment length (power of two), hop and window.
+func STFT(x []float64, fs float64, segLen, hop int, w fft.Window) (*Spectrogram, error) {
+	if !fft.IsPowerOfTwo(segLen) || segLen < 2 {
+		return nil, fmt.Errorf("spectral: segment length %d must be a power of two >= 2", segLen)
+	}
+	if hop <= 0 {
+		return nil, fmt.Errorf("spectral: hop %d must be positive", hop)
+	}
+	if len(x) < segLen {
+		return nil, fmt.Errorf("spectral: signal shorter than one segment")
+	}
+	coeffs := w.Coefficients(segLen)
+	sg := &Spectrogram{HopSec: float64(hop) / fs, FreqRes: fs / float64(segLen)}
+	seg := make([]float64, segLen)
+	for start := 0; start+segLen <= len(x); start += hop {
+		for i := range seg {
+			seg[i] = x[start+i] * coeffs[i]
+		}
+		spec, err := fft.RealForward[complex128](seg)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(spec))
+		for k, v := range spec {
+			row[k] = math.Hypot(real(v), imag(v))
+		}
+		sg.Mag = append(sg.Mag, row)
+	}
+	return sg, nil
+}
+
+// DominantBin returns the strongest non-DC bin of one frame.
+func (s *Spectrogram) DominantBin(frame int) int {
+	best, bestM := 1, 0.0
+	for k := 1; k < len(s.Mag[frame]); k++ {
+		if s.Mag[frame][k] > bestM {
+			best, bestM = k, s.Mag[frame][k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmtfft/internal/fft"
+)
+
+func TestWelchSineLocation(t *testing.T) {
+	const fs = 8000.0
+	const f0 = 1250.0
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	psd, err := Welch(x, fs, 1024, 512, fft.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psd.Segments < 20 {
+		t.Fatalf("segments = %d", psd.Segments)
+	}
+	if got := psd.PeakFreq(); math.Abs(got-f0) > fs/1024 {
+		t.Errorf("peak at %g Hz, want %g", got, f0)
+	}
+}
+
+func TestWelchWhiteNoisePower(t *testing.T) {
+	// White noise of variance sigma^2: the PSD integrates to ~sigma^2.
+	rng := rand.New(rand.NewSource(1))
+	const fs = 1000.0
+	const sigma = 2.0
+	n := 1 << 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = sigma * rng.NormFloat64()
+	}
+	psd, err := Welch(x, fs, 256, 128, fft.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := psd.TotalPower()
+	want := sigma * sigma
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("integrated PSD = %g, want ~%g", got, want)
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := Welch(x, 0, 64, 0, fft.Hann); err == nil {
+		t.Error("zero fs accepted")
+	}
+	if _, err := Welch(x, 1, 63, 0, fft.Hann); err == nil {
+		t.Error("non-power-of-two segment accepted")
+	}
+	if _, err := Welch(x, 1, 64, 64, fft.Hann); err == nil {
+		t.Error("overlap >= segment accepted")
+	}
+	if _, err := Welch(x, 1, 128, 0, fft.Hann); err == nil {
+		t.Error("signal shorter than segment accepted")
+	}
+}
+
+func TestCrossCorrelateFindsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 512
+	const shift = 137
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), 0)
+	}
+	for i := range a {
+		a[i] = b[(i-shift+n)%n] // a is b delayed by `shift`
+	}
+	r, err := CrossCorrelate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PeakLag(r); got != shift {
+		t.Errorf("peak lag = %d, want %d", got, shift)
+	}
+	if _, err := CrossCorrelate(a, b[:16]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCrossCorrelateZeroLagIsEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	a := make([]complex128, n)
+	var energy float64
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		energy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	r, err := CrossCorrelate(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(r[0])-energy) > 1e-9*energy {
+		t.Errorf("r[0] = %g, want %g", real(r[0]), energy)
+	}
+	if PeakLag(r) != 0 {
+		t.Errorf("autocorrelation peak not at lag 0")
+	}
+}
+
+func TestSTFTChirpTracksFrequency(t *testing.T) {
+	// Linear chirp from ~500 Hz to ~3 kHz: the dominant bin must
+	// increase monotonically (allowing plateaus) across frames.
+	const fs = 8000.0
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) / fs
+		f := 500 + (3000-500)*tt/(float64(n)/fs)
+		x[i] = math.Sin(2 * math.Pi * f * tt / 2) // integral of linear sweep
+	}
+	sg, err := STFT(x, fs, 512, 256, fft.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Mag) < 10 {
+		t.Fatalf("frames = %d", len(sg.Mag))
+	}
+	first := sg.DominantBin(0)
+	last := sg.DominantBin(len(sg.Mag) - 1)
+	if last <= first {
+		t.Errorf("chirp did not rise: bin %d -> %d", first, last)
+	}
+	decreases := 0
+	prev := first
+	for f := 1; f < len(sg.Mag); f++ {
+		b := sg.DominantBin(f)
+		if b < prev-1 {
+			decreases++
+		}
+		prev = b
+	}
+	if decreases > len(sg.Mag)/10 {
+		t.Errorf("dominant bin decreased %d times over %d frames", decreases, len(sg.Mag))
+	}
+}
+
+func TestSTFTErrors(t *testing.T) {
+	x := make([]float64, 64)
+	if _, err := STFT(x, 1, 63, 16, fft.Hann); err == nil {
+		t.Error("bad segment accepted")
+	}
+	if _, err := STFT(x, 1, 64, 0, fft.Hann); err == nil {
+		t.Error("zero hop accepted")
+	}
+	if _, err := STFT(x[:10], 1, 64, 16, fft.Hann); err == nil {
+		t.Error("short signal accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export formats for Run records, so detailed-simulation results can be
+// consumed by external tooling (spreadsheets, plotting scripts).
+
+// runJSON is the serialized shape of a Run.
+type runJSON struct {
+	Label  string      `json:"label"`
+	Cycles uint64      `json:"total_cycles"`
+	Phases []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Name      string  `json:"name"`
+	Cycles    uint64  `json:"cycles"`
+	FPOps     uint64  `json:"fp_ops"`
+	ALUOps    uint64  `json:"alu_ops"`
+	Loads     uint64  `json:"loads"`
+	Stores    uint64  `json:"stores"`
+	Threads   uint64  `json:"threads"`
+	DRAMBytes uint64  `json:"dram_bytes"`
+	HitRate   float64 `json:"cache_hit_rate"`
+	Intensity float64 `json:"intensity_flops_per_byte"`
+}
+
+// WriteJSON serializes the run as indented JSON.
+func (r Run) WriteJSON(w io.Writer) error {
+	out := runJSON{Label: r.Label, Cycles: r.TotalCycles()}
+	for _, p := range r.Phases {
+		pj := phaseJSON{
+			Name: p.Name, Cycles: p.Cycles, FPOps: p.Ops.FPOps,
+			ALUOps: p.Ops.ALUOps, Loads: p.Ops.Loads, Stores: p.Ops.Stores,
+			Threads: p.Ops.Threads, DRAMBytes: p.Ops.DRAMBytes,
+			HitRate: p.Ops.HitRate(),
+		}
+		if p.Ops.DRAMBytes > 0 {
+			pj.Intensity = p.Intensity()
+		}
+		out.Phases = append(out.Phases, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV serializes the per-phase record as CSV with a header row.
+func (r Run) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"phase", "cycles", "fp_ops", "alu_ops", "loads", "stores",
+		"threads", "dram_bytes", "cache_hit_rate"}); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, p := range r.Phases {
+		rec := []string{
+			p.Name, u(p.Cycles), u(p.Ops.FPOps), u(p.Ops.ALUOps),
+			u(p.Ops.Loads), u(p.Ops.Stores), u(p.Ops.Threads),
+			u(p.Ops.DRAMBytes), fmt.Sprintf("%.4f", p.Ops.HitRate()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

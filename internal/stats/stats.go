@@ -1,0 +1,229 @@
+// Package stats collects execution statistics from simulated runs:
+// operation counters, per-phase cycle accounting, and GFLOPS computation
+// under both the "actual FLOPs" convention (used by the Roofline analysis
+// in §VI-B) and the standard 5N·log2(N) FFT convention (used by Tables
+// IV-VI).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters tallies the dynamic operation mix of a simulated region.
+type Counters struct {
+	FPOps       uint64 // floating-point operations executed
+	ALUOps      uint64 // integer/address operations
+	Loads       uint64 // word loads issued to shared memory
+	Stores      uint64 // word stores issued to shared memory
+	PSOps       uint64 // prefix-sum unit operations
+	Threads     uint64 // threads executed
+	Spawns      uint64 // spawn/join regions
+	CacheHits   uint64
+	CacheMisses uint64
+	DRAMBytes   uint64 // bytes transferred on DRAM channels
+	NoCPackets  uint64 // packets injected into the interconnect
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.FPOps += o.FPOps
+	c.ALUOps += o.ALUOps
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.PSOps += o.PSOps
+	c.Threads += o.Threads
+	c.Spawns += o.Spawns
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+	c.DRAMBytes += o.DRAMBytes
+	c.NoCPackets += o.NoCPackets
+}
+
+// MemOps returns total shared-memory word operations.
+func (c Counters) MemOps() uint64 { return c.Loads + c.Stores }
+
+// HitRate returns the cache hit fraction, or 1 if no accesses occurred.
+func (c Counters) HitRate() float64 {
+	total := c.CacheHits + c.CacheMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.CacheHits) / float64(total)
+}
+
+// Phase is one timed region of a computation (e.g. one FFT pass, or the
+// aggregate rotation vs non-rotation split of Fig. 3).
+type Phase struct {
+	Name   string
+	Cycles uint64
+	Ops    Counters
+}
+
+// Intensity returns the phase's computational intensity in FLOPs per
+// DRAM byte, the x-coordinate of the Roofline plot. Phases that move no
+// DRAM data return +Inf (purely compute-bound).
+func (p Phase) Intensity() float64 {
+	if p.Ops.DRAMBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(p.Ops.FPOps) / float64(p.Ops.DRAMBytes)
+}
+
+// GFLOPS returns achieved GFLOPS at the given clock using actual FLOPs.
+func (p Phase) GFLOPS(clockGHz float64) float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.Ops.FPOps) / float64(p.Cycles) * clockGHz
+}
+
+// Run aggregates the phases of one simulated computation.
+type Run struct {
+	Label  string
+	Phases []Phase
+}
+
+// TotalCycles sums cycles across phases.
+func (r Run) TotalCycles() uint64 {
+	var t uint64
+	for _, p := range r.Phases {
+		t += p.Cycles
+	}
+	return t
+}
+
+// TotalOps sums counters across phases.
+func (r Run) TotalOps() Counters {
+	var c Counters
+	for _, p := range r.Phases {
+		c.Add(p.Ops)
+	}
+	return c
+}
+
+// Merged returns the named phases merged into one (summing cycles and
+// counters); phases not matching any name are ignored. Used to build the
+// rotation / non-rotation split of Fig. 3 from per-pass phases.
+func (r Run) Merged(name string, match func(Phase) bool) Phase {
+	out := Phase{Name: name}
+	for _, p := range r.Phases {
+		if match(p) {
+			out.Cycles += p.Cycles
+			out.Ops.Add(p.Ops)
+		}
+	}
+	return out
+}
+
+// Overall returns all phases merged, labeled "overall".
+func (r Run) Overall() Phase {
+	return r.Merged("overall", func(Phase) bool { return true })
+}
+
+// GFLOPS returns whole-run achieved GFLOPS using actual FLOPs.
+func (r Run) GFLOPS(clockGHz float64) float64 { return r.Overall().GFLOPS(clockGHz) }
+
+// StandardFFTFlops returns the conventional FLOP count 5·N·log2(N) for an
+// N-point FFT, the normalization used throughout the paper's speedup
+// tables ("to allow comparison with other work", §VI).
+func StandardFFTFlops(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// StandardGFLOPS converts a cycle count for an N-point FFT into GFLOPS
+// under the 5N·log2(N) convention at the given clock.
+func StandardGFLOPS(n int, cycles uint64, clockGHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return StandardFFTFlops(n) / float64(cycles) * clockGHz
+}
+
+// Seconds converts cycles to seconds at the given clock rate.
+func Seconds(cycles uint64, clockGHz float64) float64 {
+	return float64(cycles) / (clockGHz * 1e9)
+}
+
+func (r Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s: %d cycles\n", r.Label, r.TotalCycles())
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-24s %12d cycles  %12d flops  %10d dram bytes\n",
+			p.Name, p.Cycles, p.Ops.FPOps, p.Ops.DRAMBytes)
+	}
+	return b.String()
+}
+
+// Histogram is a simple fixed-bucket histogram used for queueing-delay
+// and utilization reporting in the simulator.
+type Histogram struct {
+	BucketWidth uint64
+	counts      map[uint64]uint64
+	total       uint64
+	sum         uint64
+	max         uint64
+}
+
+// NewHistogram returns a histogram with the given bucket width in cycles.
+func NewHistogram(bucketWidth uint64) *Histogram {
+	if bucketWidth == 0 {
+		bucketWidth = 1
+	}
+	return &Histogram{BucketWidth: bucketWidth, counts: make(map[uint64]uint64)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[v/h.BucketWidth]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0<=q<=1) using
+// bucket upper edges.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	type bucket struct{ idx, n uint64 }
+	buckets := make([]bucket, 0, len(h.counts))
+	for i, n := range h.counts {
+		buckets = append(buckets, bucket{i, n})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].idx < buckets[j].idx })
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for _, b := range buckets {
+		seen += b.n
+		if seen >= target {
+			return (b.idx + 1) * h.BucketWidth
+		}
+	}
+	return (buckets[len(buckets)-1].idx + 1) * h.BucketWidth
+}

@@ -1,0 +1,361 @@
+// Package tech models the enabling-technology feasibility arithmetic of
+// §II-B and §V: how much off-chip bandwidth each configuration needs and
+// what it costs in package pins, photonic transceiver power, cooling
+// capacity, through-silicon vias (TSVs) and network-on-chip silicon
+// area. These are the numbers the paper uses to argue which technology
+// level each machine size requires; every published figure is
+// reproduced by this package and pinned by its tests.
+package tech
+
+import (
+	"fmt"
+	"strings"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/noc"
+)
+
+// ---------------------------------------------------------------------
+// Off-chip bandwidth and package pins (§V-B, §V-C).
+
+// OffChipTbs returns the aggregate DRAM bandwidth requirement in Tb/s
+// (the paper's 8k figure: 32 channels need 6.76 Tb/s).
+func OffChipTbs(cfg config.Config) float64 {
+	return cfg.PeakDRAMBandwidthGBs() * 8 / 1000
+}
+
+// Pin models from §V-B: a parallel DDR3-style interface needs ~125 pins
+// per channel ("about 4000 pins" for 32 channels), while a 32.75 Gb/s
+// GTY-class serial transceiver consolidates a channel into 7 pins
+// (224 pins for 32 channels).
+const (
+	PinsPerChannelParallel = 125
+	PinsPerChannelSerial   = 7
+)
+
+// PinsParallel returns the package pin count for a parallel (DDR-style)
+// memory interface.
+func PinsParallel(cfg config.Config) int {
+	return cfg.DRAMChannels() * PinsPerChannelParallel
+}
+
+// PinsSerial returns the pin count using high-speed serial transceivers.
+func PinsSerial(cfg config.Config) int {
+	return cfg.DRAMChannels() * PinsPerChannelSerial
+}
+
+// TeslaK40Pins is the reference package-pin budget the paper cites as
+// evidence that ~4000 pins "may already be infeasible".
+const TeslaK40Pins = 2397
+
+// ---------------------------------------------------------------------
+// Photonic transceivers (§V-D, §V-E).
+
+// PhotonicTech describes one silicon-photonics operating point from the
+// literature the paper surveys.
+type PhotonicTech struct {
+	Name        string
+	GbpsPerLane float64
+	PJPerBit    float64 // energy per bit
+	GbpsPerMM2  float64 // I/O areal density (0 = not stated)
+}
+
+// Photonic operating points cited in §V-D.
+var (
+	// WDM10 is the 8×10 Gb/s wavelength-division-multiplexed
+	// transceiver of Zheng et al.: 600 fJ/bit at 700 Gbps/mm².
+	WDM10 = PhotonicTech{Name: "WDM 8x10 Gb/s", GbpsPerLane: 80, PJPerBit: 0.6, GbpsPerMM2: 700}
+	// Serial30IIIV is the 30 Gb/s III-V/Si link (Dupuis et al.), ~3 pJ/bit.
+	Serial30IIIV = PhotonicTech{Name: "30 Gb/s III-V/Si", GbpsPerLane: 30, PJPerBit: 3}
+	// Serial30Si is the 36 Gb/s silicon transceiver (Joo et al.), ~8 pJ/bit.
+	Serial30Si = PhotonicTech{Name: "36 Gb/s Si", GbpsPerLane: 36, PJPerBit: 8}
+)
+
+// PowerW returns transceiver power for the given aggregate bandwidth.
+func (p PhotonicTech) PowerW(tbs float64) float64 {
+	return tbs * 1e12 * p.PJPerBit * 1e-12
+}
+
+// MaxTbsForArea returns the bandwidth the technology can supply from the
+// given transceiver area (0 if the density is not stated).
+func (p PhotonicTech) MaxTbsForArea(areaMM2 float64) float64 {
+	return p.GbpsPerMM2 * areaMM2 / 1000
+}
+
+// ChipAreaMM2 is the paper's 2 cm × 2 cm chip (§V).
+const ChipAreaMM2 = 400
+
+// ---------------------------------------------------------------------
+// Cooling (§V-D, §V-E).
+
+// Cooling capacities from the literature the paper cites.
+const (
+	// AirCoolingWPerCM2 is the long-standing forced-air projection
+	// (100-150 W/cm²; the paper budgets 600 W for the 4 cm² chip).
+	AirCoolingWPerCM2 = 150
+	// MFCWPerCM2PerLayer is demonstrated single-layer microfluidic
+	// cooling ("nearly 1 KW/cm²"; prototypes removed 790 and 681 W/cm²).
+	MFCWPerCM2PerLayer = 790
+)
+
+// AirCoolingLimitW returns the air-cooling budget for a chip area.
+func AirCoolingLimitW(areaCM2 float64) float64 {
+	return AirCoolingWPerCM2 * areaCM2
+}
+
+// MFCLimitW returns the microfluidic budget for a stacked chip.
+func MFCLimitW(areaCM2 float64, layers int) float64 {
+	return MFCWPerCM2PerLayer * areaCM2 * float64(layers)
+}
+
+// ---------------------------------------------------------------------
+// Through-silicon vias (§V-D).
+
+const (
+	// TSVGbps is per-TSV signaling bandwidth.
+	TSVGbps = 40
+	// NoCPortGbps is a 50-bit NoC port at 3.3 GHz.
+	NoCPortGbps = config.NoCPortBits * config.ClockGHz
+	// TSVPitchUM is the assumed TSV pitch.
+	TSVPitchUM = 12
+	// TSVPracticalLimit is the manufacturing-cost knee the paper cites.
+	TSVPracticalLimit = 100_000
+)
+
+// TSVsPerPort returns TSVs needed to carry one NoC port (paper: 5).
+func TSVsPerPort() int {
+	ratio := float64(NoCPortGbps) / float64(TSVGbps)
+	n := int(ratio)
+	if float64(n) < ratio {
+		n++
+	}
+	return n
+}
+
+// TSVsForNoC returns the TSV count to cross layers in all four
+// directions (clusters→NoC, NoC→clusters, NoC→MMs, MMs→NoC), the
+// paper's 81,920 for the 128k configurations.
+func TSVsForNoC(cfg config.Config) int {
+	ports := cfg.Clusters + cfg.MemModules // one port each way per unit
+	return 2 * ports * TSVsPerPort()
+}
+
+// TSVAreaMM2 returns the silicon footprint of n TSVs at the assumed
+// pitch (paper: 100k TSVs ≈ 14.4 mm²).
+func TSVAreaMM2(n int) float64 {
+	pitchMM := TSVPitchUM / 1000.0
+	return float64(n) * pitchMM * pitchMM
+}
+
+// ---------------------------------------------------------------------
+// Network-on-chip silicon area (§II-B).
+
+// motSwitchAreaMM2At22 is calibrated to the paper's anchor: a pure
+// mesh-of-trees for 8k TCUs (256 clusters × 256 cache modules) occupies
+// 190 mm² at 22 nm. A MoT comprises a fan-out tree per cluster and a
+// fan-in tree per module: ~2·P·M switch nodes.
+const motSwitchAreaMM2At22 = 190.0 / (2 * 256 * 256)
+
+// MoTSwitches returns the switch count of a pure mesh-of-trees.
+func MoTSwitches(clusters, mms int) int { return 2 * clusters * mms }
+
+// MoTAreaMM2 returns pure-MoT area at the given technology node
+// (quadratic feature-size scaling from the 22 nm anchor).
+func MoTAreaMM2(clusters, mms, nm int) float64 {
+	f := float64(nm) / 22
+	return float64(MoTSwitches(clusters, mms)) * motSwitchAreaMM2At22 * f * f
+}
+
+// HybridSwitches estimates the switch count of the hybrid MoT+butterfly
+// network actually configured: the outer MoT levels form truncated
+// trees (k/2 doubling levels per side) and each butterfly level is a
+// rank of max(P, M) 2×2 switches.
+func HybridSwitches(cfg config.Config) int {
+	p, m := cfg.Clusters, cfg.MemModules
+	perSide := cfg.MoTLevels / 2
+	outer := 0
+	for i := 1; i <= perSide; i++ {
+		outer += 1 << i
+	}
+	width := p
+	if m > width {
+		width = m
+	}
+	return p*outer + m*outer + cfg.ButterflyLevels*width
+}
+
+// NoCAreaMM2 returns the configured network's estimated silicon area.
+func NoCAreaMM2(cfg config.Config) float64 {
+	var switches int
+	if cfg.ButterflyLevels == 0 {
+		switches = MoTSwitches(cfg.Clusters, cfg.MemModules)
+	} else {
+		switches = HybridSwitches(cfg)
+	}
+	f := float64(cfg.TechnologyNm) / 22
+	return float64(switches) * motSwitchAreaMM2At22 * f * f
+}
+
+// ---------------------------------------------------------------------
+// Per-configuration feasibility report (the §V narrative).
+
+// Requirement names one technology requirement and whether it is met.
+type Requirement struct {
+	Name   string
+	Detail string
+	Met    bool
+}
+
+// Report summarizes what one configuration demands.
+type Report struct {
+	Cfg          config.Config
+	OffChipTbs   float64
+	PinsParallel int
+	PinsSerial   int
+	NoCAreaMM2   float64
+	TSVs         int
+	Requirements []Requirement
+}
+
+// Analyze derives cfg's technology requirements, reproducing the
+// paper's §V reasoning (which cooling class, which interconnect class,
+// whether pins/TSVs fit).
+func Analyze(cfg config.Config) Report {
+	r := Report{
+		Cfg:          cfg,
+		OffChipTbs:   OffChipTbs(cfg),
+		PinsParallel: PinsParallel(cfg),
+		PinsSerial:   PinsSerial(cfg),
+		NoCAreaMM2:   NoCAreaMM2(cfg),
+		TSVs:         TSVsForNoC(cfg),
+	}
+	add := func(name, detail string, met bool) {
+		r.Requirements = append(r.Requirements, Requirement{name, detail, met})
+	}
+
+	add("3D VLSI", fmt.Sprintf("%d silicon layer(s)", cfg.SiliconLayers), true)
+
+	// Pins: parallel DDR feasible only within a K40-class pin budget.
+	add("parallel DDR pins",
+		fmt.Sprintf("%d pins (reference budget %d)", r.PinsParallel, TeslaK40Pins),
+		r.PinsParallel <= TeslaK40Pins)
+	add("serial transceiver pins",
+		fmt.Sprintf("%d pins", r.PinsSerial),
+		r.PinsSerial <= TeslaK40Pins)
+
+	// Photonics: needed once even serial electrical pins blow the budget
+	// or bandwidth exceeds ~28 Tb/s-class electrical signaling; the
+	// paper introduces photonics for the 128k configurations.
+	needPhotonics := r.PinsSerial > TeslaK40Pins
+	if needPhotonics {
+		wdmPower := WDM10.PowerW(r.OffChipTbs)
+		airBudget := AirCoolingLimitW(ChipAreaMM2 / 100)
+		wdmCeiling := WDM10.MaxTbsForArea(ChipAreaMM2)
+		add("photonic off-chip interconnect",
+			fmt.Sprintf("%.1f Tb/s at %.0f W (WDM 600 fJ/bit)", r.OffChipTbs, wdmPower),
+			true)
+		airOK := wdmPower <= airBudget && r.OffChipTbs <= wdmCeiling
+		add("air-cooled photonics sufficient",
+			fmt.Sprintf("demand %.0f Tb/s vs %.0f Tb/s WDM areal ceiling; %.0f W vs %.0f W air budget",
+				r.OffChipTbs, wdmCeiling, wdmPower, airBudget),
+			airOK)
+		if !airOK {
+			add("MFC-cooled photonics",
+				"smaller, faster transceivers cooled microfluidically (§V-E)", true)
+		}
+	}
+
+	// TSVs for the 3D-stacked NoC.
+	if cfg.SiliconLayers > 1 {
+		add("TSV budget",
+			fmt.Sprintf("%d NoC TSVs of %d practical (area %.1f mm²)",
+				r.TSVs, TSVPracticalLimit, TSVAreaMM2(r.TSVs)),
+			r.TSVs <= TSVPracticalLimit)
+	}
+
+	// NoC must fit a single layer.
+	add("NoC area fits one layer",
+		fmt.Sprintf("%.0f mm² of %.0f mm²", r.NoCAreaMM2, cfg.SiAreaPerLayer),
+		r.NoCAreaMM2 <= cfg.SiAreaPerLayer)
+
+	return r
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.2f Tb/s off-chip, NoC %.0f mm², effective NoC fraction %.2f\n",
+		r.Cfg.Name, r.OffChipTbs, r.NoCAreaMM2, noc.EffectiveBandwidthFraction(r.Cfg))
+	for _, req := range r.Requirements {
+		mark := "ok  "
+		if !req.Met {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-32s %s\n", mark, req.Name, req.Detail)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Chip power model (§V cooling narrative, Table VI power row).
+
+// Power-model calibration: the paper publishes exactly one absolute
+// power figure — 7.0 KW peak for 128k x4 (Table VI) — plus the cooling
+// narrative (8k is air-coolable, 64k is not and needs MFC). We model
+// chip power as a per-TCU core term plus the off-chip interconnect
+// energy, calibrating the core term so the x4 total hits 7.0 KW.
+const (
+	// ElectricalPJPerBit is the assumed energy of electrical high-speed
+	// serial signaling (configurations below the photonic threshold).
+	ElectricalPJPerBit = 5
+)
+
+// wattsPerTCU is calibrated so PowerEstimateW(128k x4) = 7000 W with
+// its photonic interconnect term.
+var wattsPerTCU = func() float64 {
+	x4 := config.OneTwentyEightKx4()
+	interconnect := WDM10.PowerW(OffChipTbs(x4))
+	return (baseline128Kx4PowerW - interconnect) / float64(x4.TCUs)
+}()
+
+// baseline128Kx4PowerW is Table VI's published 7.0 KW.
+const baseline128Kx4PowerW = 7000
+
+// PowerEstimateW estimates cfg's peak chip power: cores plus off-chip
+// interconnect (photonic at 0.6 pJ/bit for the 128k configurations,
+// electrical serial at ElectricalPJPerBit otherwise).
+func PowerEstimateW(cfg config.Config) float64 {
+	cores := wattsPerTCU * float64(cfg.TCUs)
+	tbs := OffChipTbs(cfg)
+	var io float64
+	if PinsSerial(cfg) > TeslaK40Pins { // photonics required
+		io = WDM10.PowerW(tbs)
+	} else {
+		io = tbs * 1e12 * ElectricalPJPerBit * 1e-12
+	}
+	return cores + io
+}
+
+// CoolingClass names the cooling technology a configuration needs.
+type CoolingClass string
+
+// Cooling classes.
+const (
+	CoolAir CoolingClass = "air"
+	CoolMFC CoolingClass = "microfluidic"
+	CoolNo  CoolingClass = "infeasible"
+)
+
+// CoolingFor returns the cooling class cfg's estimated power demands on
+// the paper's 4 cm² chip, reproducing the §V narrative: air up to
+// 600 W, microfluidic cooling beyond (scaling with layer count).
+func CoolingFor(cfg config.Config) CoolingClass {
+	p := PowerEstimateW(cfg)
+	area := ChipAreaMM2 / 100.0
+	if p <= AirCoolingLimitW(area) {
+		return CoolAir
+	}
+	if p <= MFCLimitW(area, cfg.SiliconLayers) {
+		return CoolMFC
+	}
+	return CoolNo
+}

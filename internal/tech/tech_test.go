@@ -1,0 +1,236 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/config"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %g, want %g", name, got, want)
+	}
+}
+
+// §V-B: 32 DRAM channels require 6.76 Tb/s; parallel DDR needs ~4000
+// pins while serial needs 224.
+func TestEightKOffChipAndPins(t *testing.T) {
+	c := config.EightK()
+	approx(t, "8k off-chip Tb/s", OffChipTbs(c), 6.76, 0.01)
+	if got := PinsParallel(c); got != 4000 {
+		t.Errorf("8k parallel pins = %d, want 4000", got)
+	}
+	if got := PinsSerial(c); got != 224 {
+		t.Errorf("8k serial pins = %d, want 224", got)
+	}
+	if PinsParallel(c) <= TeslaK40Pins {
+		t.Error("4000 pins should exceed the K40 reference budget")
+	}
+}
+
+// §V-C: the 64k configuration's 256 channels need 1792 serial pins.
+func TestSixtyFourKPins(t *testing.T) {
+	c := config.SixtyFourK()
+	if got := PinsSerial(c); got != 1792 {
+		t.Errorf("64k serial pins = %d, want 1792", got)
+	}
+	if got := PinsSerial(c); got > TeslaK40Pins {
+		t.Errorf("64k serial pins %d should still fit the reference budget", got)
+	}
+	// 128k x4's 4096 channels cannot be pinned electrically at all.
+	if got := PinsSerial(config.OneTwentyEightKx4()); got <= TeslaK40Pins {
+		t.Errorf("x4 serial pins = %d, expected beyond any package", got)
+	}
+}
+
+// §V-D: WDM photonics provide 280 Tb/s from a 4 cm² chip at 168 W.
+func TestWDMPhotonics(t *testing.T) {
+	maxTbs := WDM10.MaxTbsForArea(ChipAreaMM2)
+	approx(t, "WDM max Tb/s for 4 cm2", maxTbs, 280, 0.01)
+	approx(t, "WDM power at 280 Tb/s", WDM10.PowerW(280), 168, 0.01)
+	// The 30 Gb/s alternatives cost an order of magnitude more energy.
+	if Serial30IIIV.PJPerBit < 5*WDM10.PJPerBit {
+		t.Error("III-V 30G should be ~5x less efficient than WDM")
+	}
+	if Serial30Si.PJPerBit < 10*WDM10.PJPerBit {
+		t.Error("Si 36G should be >=10x less efficient than WDM")
+	}
+	// Within the 600 W air budget, the 10 Gb/s channels deliver more
+	// bandwidth than the 30 Gb/s ones (the paper's conclusion).
+	budget := AirCoolingLimitW(4)
+	wdmAt := budget / (WDM10.PJPerBit * 1e-12) / 1e12 // Tb/s
+	iiivAt := budget / (Serial30IIIV.PJPerBit * 1e-12) / 1e12
+	if wdmAt <= iiivAt {
+		t.Errorf("WDM bandwidth within budget (%.0f) not above 30G (%.0f)", wdmAt, iiivAt)
+	}
+}
+
+// §V-D: air cooling removes no more than 600 W from the 4 cm² chip.
+func TestCoolingBudgets(t *testing.T) {
+	approx(t, "air budget 4 cm2", AirCoolingLimitW(4), 600, 0.01)
+	// MFC removes close to 1 KW/cm² per layer (§VI-C).
+	if MFCLimitW(4, 1) < 2500 {
+		t.Errorf("single-layer MFC budget = %.0f W, want several KW", MFCLimitW(4, 1))
+	}
+	// The 128k x4 chip's 7 KW fits its MFC envelope easily.
+	if MFCLimitW(4, 9) < 7000 {
+		t.Errorf("9-layer MFC budget %.0f W cannot cool the 7 KW chip", MFCLimitW(4, 9))
+	}
+	// ... but not the air envelope.
+	if AirCoolingLimitW(4) > 7000 {
+		t.Error("air cooling should not suffice for the 7 KW chip")
+	}
+}
+
+// §V-D: 5 TSVs per 165 Gb/s port; 81,920 TSVs for the 128k NoC; 100k
+// TSVs occupy 14.4 mm².
+func TestTSVModel(t *testing.T) {
+	if got := TSVsPerPort(); got != 5 {
+		t.Errorf("TSVs per port = %d, want 5", got)
+	}
+	if got := TSVsForNoC(config.OneTwentyEightKx2()); got != 81920 {
+		t.Errorf("128k NoC TSVs = %d, want 81920", got)
+	}
+	approx(t, "area of 100k TSVs", TSVAreaMM2(100_000), 14.4, 0.01)
+	if got := TSVsForNoC(config.OneTwentyEightKx2()); got > TSVPracticalLimit {
+		t.Errorf("128k TSVs %d exceed the practical limit", got)
+	}
+	// Headroom for power delivery: ~18k TSVs (the paper's remark).
+	spare := TSVPracticalLimit - TSVsForNoC(config.OneTwentyEightKx4())
+	if spare < 15000 || spare > 20000 {
+		t.Errorf("TSV headroom = %d, want ~18000", spare)
+	}
+}
+
+// §II-B: MoT NoC area anchors — 190 mm² for 8k TCUs at 22 nm, 760 mm²
+// for 16k TCUs (would not fit a single layer).
+func TestMoTAreaAnchors(t *testing.T) {
+	approx(t, "8k MoT area", MoTAreaMM2(256, 256, 22), 190, 0.001)
+	approx(t, "16k MoT area", MoTAreaMM2(512, 512, 22), 760, 0.001)
+	if MoTAreaMM2(512, 512, 22) < 400 {
+		t.Error("16k MoT should not fit the ~400 mm2 reticle")
+	}
+}
+
+func TestHybridMuchSmallerThanPureMoT(t *testing.T) {
+	for _, c := range []config.Config{config.SixtyFourK(), config.OneTwentyEightKx2()} {
+		pure := MoTAreaMM2(c.Clusters, c.MemModules, c.TechnologyNm)
+		hybrid := NoCAreaMM2(c)
+		if hybrid*10 > pure {
+			t.Errorf("%s: hybrid NoC %.0f mm² not <<10x pure MoT %.0f mm²", c.Name, hybrid, pure)
+		}
+		if hybrid > c.SiAreaPerLayer {
+			t.Errorf("%s: hybrid NoC %.0f mm² exceeds one layer (%.0f mm²)", c.Name, hybrid, c.SiAreaPerLayer)
+		}
+	}
+	// Pure-MoT configs use their actual MoT area and still fit.
+	for _, c := range []config.Config{config.FourK(), config.EightK()} {
+		if a := NoCAreaMM2(c); a > c.SiAreaPerLayer {
+			t.Errorf("%s: NoC %.0f mm² exceeds one layer", c.Name, a)
+		}
+	}
+}
+
+func TestAnalyzeNarrative(t *testing.T) {
+	// 4k: no failed requirements — "does not require any enabling
+	// technologies".
+	r4 := Analyze(config.FourK())
+	for _, req := range r4.Requirements {
+		if !req.Met && req.Name != "parallel DDR pins" {
+			t.Errorf("4k requirement %q unexpectedly unmet", req.Name)
+		}
+	}
+	// 8k: parallel DDR infeasible, serial feasible.
+	r8 := Analyze(config.EightK())
+	found := map[string]bool{}
+	for _, req := range r8.Requirements {
+		found[req.Name] = req.Met
+	}
+	if found["parallel DDR pins"] {
+		t.Error("8k parallel DDR should be infeasible")
+	}
+	if !found["serial transceiver pins"] {
+		t.Error("8k serial pins should be feasible")
+	}
+	// 128k x2: photonics required, air-cooled photonics sufficient for
+	// its own bandwidth demand (27 Tb/s x 0.6 pJ/bit = ~16 W).
+	rx2 := Analyze(config.OneTwentyEightKx2())
+	var sawPhotonics bool
+	for _, req := range rx2.Requirements {
+		if strings.Contains(req.Name, "photonic") {
+			sawPhotonics = true
+		}
+	}
+	if !sawPhotonics {
+		t.Error("x2 analysis missing photonics requirement")
+	}
+	// Report renders every requirement.
+	s := rx2.String()
+	for _, want := range []string{"Tb/s", "TSV", "NoC area"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOffChipScalesAcrossConfigs(t *testing.T) {
+	cfgs := config.Paper()
+	prev := 0.0
+	for _, c := range cfgs {
+		tbs := OffChipTbs(c)
+		if tbs <= prev {
+			t.Errorf("%s: off-chip %.2f Tb/s not increasing", c.Name, tbs)
+		}
+		prev = tbs
+	}
+	// 128k x2 needs ~216 Tb/s — within the 280 Tb/s air-cooled WDM
+	// ceiling ("enough to double the ratio of DRAM controllers to
+	// memory modules", §V-D).
+	x2 := OffChipTbs(config.OneTwentyEightKx2())
+	approx(t, "x2 off-chip Tb/s", x2, 216.3, 0.01)
+	if x2 > WDM10.MaxTbsForArea(ChipAreaMM2) {
+		t.Error("x2 bandwidth should fit the WDM areal ceiling")
+	}
+	// 128k x4 needs ~865 Tb/s — beyond air-cooled WDM, which is why
+	// §V-E requires MFC-cooled ("smaller, faster") photonics.
+	x4 := OffChipTbs(config.OneTwentyEightKx4())
+	approx(t, "x4 off-chip Tb/s", x4, 865.1, 0.01)
+	if x4 <= WDM10.MaxTbsForArea(ChipAreaMM2) {
+		t.Error("x4 bandwidth should exceed the air-cooled WDM ceiling")
+	}
+}
+
+func TestPowerModelCalibration(t *testing.T) {
+	// Calibrated to Table VI's 7.0 KW for 128k x4.
+	approx(t, "x4 power", PowerEstimateW(config.OneTwentyEightKx4()), 7000, 0.001)
+	// Power grows with machine size.
+	prev := 0.0
+	for _, c := range config.Paper() {
+		p := PowerEstimateW(c)
+		if p <= prev {
+			t.Errorf("%s: power %0.f W not increasing", c.Name, p)
+		}
+		prev = p
+	}
+}
+
+func TestCoolingNarrative(t *testing.T) {
+	// §V: 4k and 8k are air-coolable ("an 8192-TCU configuration of XMT
+	// is feasible using air cooling alone, but not a larger one"); 64k
+	// and beyond need microfluidic cooling; everything fits MFC.
+	want := map[string]CoolingClass{
+		config.Name4K:     CoolAir,
+		config.Name8K:     CoolAir,
+		config.Name64K:    CoolMFC,
+		config.Name128Kx2: CoolMFC,
+		config.Name128Kx4: CoolMFC,
+	}
+	for _, c := range config.Paper() {
+		if got := CoolingFor(c); got != want[c.Name] {
+			t.Errorf("%s: cooling %s (%.0f W), want %s", c.Name, got, PowerEstimateW(c), want[c.Name])
+		}
+	}
+}

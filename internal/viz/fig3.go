@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"xmtfft/internal/model"
+)
+
+// Fig3SVG renders the paper's Fig. 3 as SVG: one roofline per
+// configuration (solid up to the ridge, flat beyond) and the three
+// empirical markers (rotation, overall, non-rotation) per machine.
+func Fig3SVG(w io.Writer) error {
+	projs, err := model.TableIV()
+	if err != nil {
+		return err
+	}
+	p := Plot{
+		Title:  "Roofline model of each XMT configuration (512^3 3D FFT)",
+		XLabel: "computational intensity (FLOPs/byte)",
+		YLabel: "GFLOPS (actual-FLOP convention)",
+		W:      860, H: 560,
+		XMin: 0.05, XMax: 16,
+	}
+	for _, pr := range projs {
+		roof := model.RooflineOf(pr.Cfg)
+		// Roofline polyline across the x range.
+		xs := []float64{0.05, roof.Ridge, 16}
+		ys := []float64{roof.Bound(0.05), roof.Bound(roof.Ridge), roof.Bound(16)}
+		p.Add(Series{Name: pr.Cfg.Name + " roof", X: xs, Y: ys})
+		// Markers share the roof's color (assigned just above).
+		color := p.Series[len(p.Series)-1].Color
+		p.Add(Series{
+			Name:    pr.Cfg.Name + " phases",
+			X:       []float64{pr.Rotation.Intensity, pr.Overall.Intensity, pr.Stream.Intensity},
+			Y:       []float64{pr.Rotation.ActualGFLOPS, pr.Overall.ActualGFLOPS, pr.Stream.ActualGFLOPS},
+			Color:   color,
+			Markers: true,
+			Dashed:  true,
+		})
+	}
+	return p.Render(w)
+}
+
+// ScalingSVG renders the strong-scaling study (speedup vs TCUs).
+func ScalingSVG(w io.Writer) error {
+	pts, err := model.StrongScaling(model.PaperN)
+	if err != nil {
+		return err
+	}
+	var xs, ys, ideal []float64
+	base := float64(pts[0].Cfg.TCUs)
+	for _, pt := range pts {
+		xs = append(xs, float64(pt.Cfg.TCUs))
+		ys = append(ys, pt.Speedup)
+		ideal = append(ideal, float64(pt.Cfg.TCUs)/base)
+	}
+	p := Plot{
+		Title:  fmt.Sprintf("Strong scaling, %d^3 FFT", model.PaperN),
+		XLabel: "TCUs",
+		YLabel: "speedup over 4k",
+		W:      640, H: 480,
+	}
+	p.Add(Series{Name: "ideal (per TCU)", X: xs, Y: ideal, Dashed: true, Color: "#999999"})
+	p.Add(Series{Name: "modeled", X: xs, Y: ys, Markers: true})
+	return p.Render(w)
+}
+
+// WeakScalingSVG renders the weak-scaling study (efficiency vs TCUs).
+func WeakScalingSVG(w io.Writer) error {
+	pts, err := model.WeakScaling(256)
+	if err != nil {
+		return err
+	}
+	var xs, eff, ideal []float64
+	for _, pt := range pts {
+		xs = append(xs, float64(pt.Cfg.TCUs))
+		eff = append(eff, pt.Efficiency)
+		ideal = append(ideal, 1)
+	}
+	p := Plot{
+		Title:  "Weak scaling (work grows with TCUs; base 256^3 on 4k)",
+		XLabel: "TCUs",
+		YLabel: "efficiency (base time / time)",
+		W:      640, H: 480,
+		YMin: 0.25, YMax: 4,
+	}
+	p.Add(Series{Name: "perfect", X: xs, Y: ideal, Dashed: true, Color: "#999999"})
+	p.Add(Series{Name: "modeled", X: xs, Y: eff, Markers: true})
+	return p.Render(w)
+}

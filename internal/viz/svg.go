@@ -1,0 +1,188 @@
+// Package viz renders the paper's figure as an actual image: a
+// dependency-free SVG writer plus a log-log plot component sized for
+// Fig. 3 (rooflines with per-phase markers) and the scaling studies.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line or marker set.
+type Series struct {
+	Name    string
+	X, Y    []float64
+	Color   string
+	Markers bool // draw point markers
+	Dashed  bool
+}
+
+// Plot is a log-log chart.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	W, H           int
+	Series         []Series
+	XMin, XMax     float64 // 0 = auto
+	YMin, YMax     float64
+}
+
+// defaultPalette cycles through visually distinct colors.
+var defaultPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Add appends a series, assigning a palette color if unset.
+func (p *Plot) Add(s Series) {
+	if s.Color == "" {
+		s.Color = defaultPalette[len(p.Series)%len(defaultPalette)]
+	}
+	p.Series = append(p.Series, s)
+}
+
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			if s.X[i] > 0 {
+				xmin = math.Min(xmin, s.X[i])
+				xmax = math.Max(xmax, s.X[i])
+			}
+			if s.Y[i] > 0 {
+				ymin = math.Min(ymin, s.Y[i])
+				ymax = math.Max(ymax, s.Y[i])
+			}
+		}
+	}
+	if p.XMin > 0 {
+		xmin = p.XMin
+	}
+	if p.XMax > 0 {
+		xmax = p.XMax
+	}
+	if p.YMin > 0 {
+		ymin = p.YMin
+	}
+	if p.YMax > 0 {
+		ymax = p.YMax
+	}
+	if math.IsInf(xmin, 1) { // empty plot
+		xmin, xmax, ymin, ymax = 0.1, 10, 0.1, 10
+	}
+	return
+}
+
+// Render writes the SVG.
+func (p *Plot) Render(w io.Writer) error {
+	if p.W == 0 {
+		p.W = 640
+	}
+	if p.H == 0 {
+		p.H = 480
+	}
+	const mL, mR, mT, mB = 70, 160, 40, 55
+	plotW := float64(p.W - mL - mR)
+	plotH := float64(p.H - mT - mB)
+	xmin, xmax, ymin, ymax := p.bounds()
+	lx := func(v float64) float64 {
+		return mL + plotW*(math.Log10(v)-math.Log10(xmin))/(math.Log10(xmax)-math.Log10(xmin))
+	}
+	ly := func(v float64) float64 {
+		return mT + plotH*(1-(math.Log10(v)-math.Log10(ymin))/(math.Log10(ymax)-math.Log10(ymin)))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.W, p.H, p.W, p.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", p.W, p.H)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		p.W/2, esc(p.Title))
+
+	// Gridlines at decades.
+	for _, d := range decades(xmin, xmax) {
+		x := lx(d)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", x, mT, x, p.H-mB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, p.H-mB+16, fmtTick(d))
+	}
+	for _, d := range decades(ymin, ymax) {
+		y := ly(d)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mL, y, p.W-mR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			mL-6, y+4, fmtTick(d))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="black"/>`+"\n",
+		mL, mT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		mL+int(plotW)/2, p.H-12, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mT+int(plotH)/2, mT+int(plotH)/2, esc(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		if len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				if s.X[i] <= 0 || s.Y[i] <= 0 {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", lx(s.X[i]), ly(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+				strings.Join(pts, " "), s.Color, dash)
+		}
+		if s.Markers {
+			for i := range s.X {
+				if s.X[i] <= 0 || s.Y[i] <= 0 {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="black" stroke-width="0.5"/>`+"\n",
+					lx(s.X[i]), ly(s.Y[i]), s.Color)
+			}
+		}
+		// Legend entry.
+		lyTop := mT + 14 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			p.W-mR+8, lyTop-4, p.W-mR+30, lyTop-4, s.Color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			p.W-mR+34, lyTop, esc(s.Name))
+	}
+	fmt.Fprintln(&b, "</svg>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// decades returns powers of ten spanning [lo, hi].
+func decades(lo, hi float64) []float64 {
+	var out []float64
+	for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+		d := math.Pow(10, e)
+		if d >= lo/1.001 && d <= hi*1.001 {
+			out = append(out, d)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v >= 1000 || v < 0.01 {
+		return fmt.Sprintf("1e%0.f", math.Log10(v))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

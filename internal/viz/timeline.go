@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmtfft/internal/stats"
+)
+
+// TimelineSVG renders a Run's phases as a horizontal timeline (one bar
+// per phase, width proportional to cycles, colored by phase class) —
+// the at-a-glance view of where a simulated FFT spends its time.
+func TimelineSVG(w io.Writer, run stats.Run) error {
+	total := run.TotalCycles()
+	if total == 0 {
+		return fmt.Errorf("viz: empty run")
+	}
+	const width, rowH, mL, mT = 820, 26, 10, 46
+	height := mT + rowH + 90
+
+	classColor := func(name string) string {
+		switch {
+		case strings.HasPrefix(name, "rotate"):
+			return "#d62728"
+		case strings.HasPrefix(name, "twiddle"):
+			return "#9467bd"
+		case strings.HasPrefix(name, "coarse"):
+			return "#ff7f0e"
+		default:
+			return "#1f77b4"
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15">%s — %d cycles</text>`+"\n",
+		mL, esc(run.Label), total)
+
+	x := float64(mL)
+	usable := float64(width - 2*mL)
+	for _, p := range run.Phases {
+		frac := float64(p.Cycles) / float64(total)
+		bw := frac * usable
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="white" stroke-width="0.5"/>`+"\n",
+			x, mT, bw, rowH, classColor(p.Name))
+		if bw > 34 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="white">%s</text>`+"\n",
+				x+3, mT+16, esc(shorten(p.Name)))
+		}
+		x += bw
+	}
+
+	// Legend + phase-class summary.
+	classes := []struct{ label, prefix string }{
+		{"fft pass", "fft"}, {"fused rotation", "rotate"}, {"twiddle maintenance", "twiddle"},
+	}
+	y := mT + rowH + 26
+	for _, cl := range classes {
+		m := run.Merged(cl.label, func(p stats.Phase) bool { return strings.HasPrefix(p.Name, cl.prefix) })
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", mL, y-10, classColor(cl.prefix))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s: %d cycles (%.0f%%), %d FLOPs</text>`+"\n",
+			mL+18, y, esc(cl.label), m.Cycles, 100*float64(m.Cycles)/float64(total), m.Ops.FPOps)
+		y += 20
+	}
+	fmt.Fprintln(&b, "</svg>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func shorten(s string) string {
+	if len(s) > 14 {
+		return s[:14]
+	}
+	return s
+}

@@ -1,0 +1,37 @@
+package xmt_test
+
+import (
+	"fmt"
+	"log"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/xmt"
+)
+
+// Run a parallel section on a simulated XMT machine: each virtual
+// thread's micro-ops (here: load two words, add, store) execute under
+// the full FPU/LSU/NoC/memory contention model.
+func ExampleMachine_Spawn() {
+	cfg, _ := config.FourK().Scaled(128) // 128-TCU instance of the 4k machine
+	m, err := xmt.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Spawn(1000, xmt.ProgramFunc(func(id int, buf []xmt.Op) []xmt.Op {
+		base := uint64(id) * 8
+		return append(buf,
+			xmt.Load(base), xmt.Load(base+4),
+			xmt.ALU(1),
+			xmt.Store(base))
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("threads: %d, loads: %d, stores: %d\n",
+		res.Ops.Threads, res.Ops.Loads, res.Ops.Stores)
+	fmt.Println("ran longer than the broadcast+join floor:",
+		res.Cycles() > xmt.SpawnBroadcastLatency+xmt.JoinLatency)
+	// Output:
+	// threads: 1000, loads: 2000, stores: 1000
+	// ran longer than the broadcast+join floor: true
+}

@@ -1,0 +1,359 @@
+// Package xmt simulates the Explicit Multi-Threading (XMT) many-core
+// architecture of §II-A: a master thread control unit (MTCU) that
+// broadcasts parallel sections to clusters of lightweight thread control
+// units (TCUs), a prefix-sum unit providing constant-time dynamic thread
+// allocation (the no-busy-wait FSM scheme), shared functional units and
+// one load/store port per cluster, an interconnection network (internal/
+// noc) and hashed shared memory modules (internal/mem).
+//
+// The simulator is timing-directed and event-driven: workloads submit
+// micro-op streams (see Op) whose shared-memory addresses are real, so
+// cache, DRAM-channel and NoC contention emerge from the access pattern
+// rather than from assumed rates.
+package xmt
+
+import (
+	"fmt"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/mem"
+	"xmtfft/internal/noc"
+	"xmtfft/internal/sim"
+	"xmtfft/internal/stats"
+)
+
+// Timing constants (cycles); calibration parameters documented in
+// DESIGN.md §5.
+const (
+	// SpawnBroadcastLatency covers the MTCU's broadcast of a parallel
+	// section to all TCU clusters; XMT starts all TCUs in the time it
+	// takes to start one (§II-A).
+	SpawnBroadcastLatency = 24
+	// JoinLatency covers TCUs reporting completion and the MTCU
+	// resuming serial mode.
+	JoinLatency = 24
+	// PSLatency is the round-trip latency of a prefix-sum operation;
+	// the PS unit combines concurrent requests, so throughput is
+	// unbounded (the defining XMT primitive).
+	PSLatency = 12
+	// FPULatency is the floating-point pipeline depth added to a
+	// thread's FLOP segment on top of throughput-limited issue.
+	FPULatency = 4
+	// ThreadStartOverhead is the per-thread cost of receiving a thread
+	// id and branching to the body.
+	ThreadStartOverhead = 2
+)
+
+// cluster groups the per-cluster shared resources.
+type cluster struct {
+	fpu sim.Port // width = FPUsPerCluster
+	lsu sim.Port // width = LSUsPerCluster
+	mdu sim.Port // width = MDUsPerCluster (unused by FFT, kept for ISA)
+}
+
+// Machine is one configured XMT processor.
+type Machine struct {
+	cfg      config.Config
+	engine   *sim.Engine
+	memory   *mem.System
+	network  noc.Network
+	clusters []cluster
+
+	// Counters accumulates operation counts across all parallel sections
+	// run on this machine.
+	Counters stats.Counters
+
+	// spawn-in-progress state
+	prog        Program
+	totalTh     int
+	nextTh      int
+	outstanding int
+	lastDone    uint64 // completion time of the latest op (incl. stores)
+}
+
+// New builds a machine for cfg with a fresh memory system and network.
+func New(cfg config.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memory, err := mem.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	network, err := noc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		engine:   sim.New(),
+		memory:   memory,
+		network:  network,
+		clusters: make([]cluster, cfg.Clusters),
+	}
+	for i := range m.clusters {
+		m.clusters[i] = cluster{
+			fpu: sim.Port{Width: uint64(cfg.FPUsPerCluster)},
+			lsu: sim.Port{Width: uint64(cfg.LSUsPerCluster)},
+			mdu: sim.Port{Width: uint64(cfg.MDUsPerCluster)},
+		}
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// Memory exposes the memory system (for statistics and test inspection).
+func (m *Machine) Memory() *mem.System { return m.memory }
+
+// Network exposes the interconnect model.
+func (m *Machine) Network() noc.Network { return m.network }
+
+// Now returns the machine's current cycle.
+func (m *Machine) Now() uint64 { return m.engine.Now() }
+
+// AdvanceSerial models serial-mode MTCU work of the given length
+// (e.g. setup between parallel sections).
+func (m *Machine) AdvanceSerial(cycles uint64) {
+	m.engine.RunUntil(m.engine.Now() + cycles)
+}
+
+// SpawnResult summarizes one parallel section.
+type SpawnResult struct {
+	Start   uint64 // cycle the spawn was issued
+	End     uint64 // cycle serial mode resumed (after join)
+	Threads int
+	Ops     stats.Counters // counters for this section only
+}
+
+// Cycles returns the section's duration.
+func (r SpawnResult) Cycles() uint64 { return r.End - r.Start }
+
+// tcuState tracks one TCU between events.
+type tcuState struct {
+	id      int
+	cluster int
+	buf     []Op
+}
+
+// Spawn executes a parallel section of n threads described by prog,
+// running the simulation to completion (until the join), and returns
+// timing and counters for the section. Threads are assigned to TCUs
+// dynamically: the first wave starts simultaneously on all TCUs after
+// the broadcast; each subsequent thread id is obtained by a prefix-sum
+// on the thread counter, providing run-time load balancing exactly as
+// described in §II-A.
+func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
+	if n < 0 {
+		return SpawnResult{}, fmt.Errorf("xmt: negative thread count %d", n)
+	}
+	if m.outstanding != 0 || m.prog != nil {
+		return SpawnResult{}, fmt.Errorf("xmt: spawn while a parallel section is active")
+	}
+	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	before := m.Counters
+	start := m.engine.Now()
+	m.prog = prog
+	m.totalTh = n
+	m.nextTh = 0
+	m.lastDone = 0
+	m.Counters.Spawns++
+
+	wave := m.cfg.TCUs
+	if n < wave {
+		wave = n
+	}
+	m.outstanding = wave
+	begin := start + SpawnBroadcastLatency
+	for i := 0; i < wave; i++ {
+		tcu := &tcuState{id: i, cluster: i / m.cfg.TCUsPerCluster}
+		tid := m.nextTh
+		m.nextTh++
+		m.engine.At(begin, func() { m.runThread(tcu, tid) })
+	}
+	m.engine.Run()
+
+	end := m.lastDone
+	if end < begin {
+		end = begin
+	}
+	end += JoinLatency
+	// Advance the clock through the join.
+	m.engine.RunUntil(end)
+	m.prog = nil
+
+	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	ops := m.Counters
+	subtract(&ops, before)
+	return SpawnResult{Start: start, End: end, Threads: n, Ops: ops}, nil
+}
+
+// ExtendSpawn adds k virtual threads to the active parallel section
+// (XMT's nested single-spawn, sspawn: "program execution flow can also
+// be extended through nesting of sspawn commands", §II-A) and returns
+// the id of the first new thread. It may only be called from within a
+// Program.Thread callback of the active section; the new ids are picked
+// up by TCUs through the same prefix-sum allocation path as the
+// original thread range.
+func (m *Machine) ExtendSpawn(k int) (int, error) {
+	if m.prog == nil {
+		return 0, fmt.Errorf("xmt: ExtendSpawn outside a parallel section")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("xmt: ExtendSpawn count %d must be positive", k)
+	}
+	first := m.totalTh
+	m.totalTh += k
+	m.Counters.PSOps++ // the parent's allocation prefix-sum
+	return first, nil
+}
+
+func subtract(c *stats.Counters, base stats.Counters) {
+	c.FPOps -= base.FPOps
+	c.ALUOps -= base.ALUOps
+	c.Loads -= base.Loads
+	c.Stores -= base.Stores
+	c.PSOps -= base.PSOps
+	c.Threads -= base.Threads
+	c.Spawns -= base.Spawns
+	c.CacheHits -= base.CacheHits
+	c.CacheMisses -= base.CacheMisses
+	c.DRAMBytes -= base.DRAMBytes
+	c.NoCPackets -= base.NoCPackets
+}
+
+// runThread generates thread tid's ops and begins executing its first
+// segment at the current cycle.
+func (m *Machine) runThread(t *tcuState, tid int) {
+	m.Counters.Threads++
+	t.buf = m.prog.Thread(tid, t.buf[:0])
+	m.execSegments(t, 0, m.engine.Now()+ThreadStartOverhead)
+}
+
+// execSegments executes the op stream starting at index i with the
+// thread ready at cycle "now". Each segment (a run of related ops)
+// computes its completion and schedules the continuation, so concurrent
+// TCUs interleave correctly through the shared resource ports.
+func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
+	for {
+		if i >= len(t.buf) {
+			m.threadDone(t, now)
+			return
+		}
+		op := t.buf[i]
+		cl := &m.clusters[t.cluster]
+		switch op.Kind {
+		case OpALU:
+			// One ALU per TCU: pure latency, no contention. Cheap enough
+			// to fold into the loop without rescheduling.
+			m.Counters.ALUOps += uint64(op.N)
+			now += uint64(op.N)
+			i++
+		case OpFLOP:
+			m.Counters.FPOps += uint64(op.N)
+			done := cl.fpu.GrantNLast(now, uint64(op.N)) + FPULatency
+			i++
+			m.schedule(t, i, done)
+			return
+		case OpPS:
+			m.Counters.PSOps++
+			i++
+			m.schedule(t, i, now+PSLatency)
+			return
+		case OpLoad:
+			// Gather the load group.
+			j := i
+			var done uint64
+			for j < len(t.buf) && t.buf[j].Kind == OpLoad {
+				addr := t.buf[j].Addr
+				issue := cl.lsu.Grant(now)
+				dst := mem.HashAddress(addr, m.cfg.MemModules)
+				arrive := m.network.Traverse(issue, t.cluster, dst)
+				res := m.memory.Access(arrive, addr, false)
+				ret := res.Done + m.network.Latency()
+				if ret > done {
+					done = ret
+				}
+				m.Counters.Loads++
+				m.Counters.NoCPackets += 2
+				m.countHit(res.Hit)
+				j++
+			}
+			m.schedule(t, j, done)
+			return
+		case OpStore:
+			// Issue the store group without blocking the thread.
+			j := i
+			issue := now
+			for j < len(t.buf) && t.buf[j].Kind == OpStore {
+				addr := t.buf[j].Addr
+				issue = cl.lsu.Grant(issue)
+				dst := mem.HashAddress(addr, m.cfg.MemModules)
+				arrive := m.network.Traverse(issue, t.cluster, dst)
+				res := m.memory.Access(arrive, addr, true)
+				if res.Done > m.lastDone {
+					m.lastDone = res.Done // join waits for store completion
+				}
+				m.Counters.Stores++
+				m.Counters.NoCPackets++
+				m.countHit(res.Hit)
+				j++
+			}
+			now = issue + 1
+			i = j
+		default:
+			panic(fmt.Sprintf("xmt: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+func (m *Machine) countHit(hit bool) {
+	if hit {
+		m.Counters.CacheHits++
+	} else {
+		m.Counters.CacheMisses++
+	}
+}
+
+// schedule resumes thread execution at index i at cycle "at".
+func (m *Machine) schedule(t *tcuState, i int, at uint64) {
+	if at < m.engine.Now() {
+		at = m.engine.Now()
+	}
+	m.engine.At(at, func() { m.execSegments(t, i, at) })
+}
+
+// threadDone records completion and allocates the TCU's next thread via
+// the prefix-sum unit, or retires the TCU when the id space is
+// exhausted (it then waits for the join, causing no busy-wait for any
+// other TCU).
+func (m *Machine) threadDone(t *tcuState, now uint64) {
+	if now > m.lastDone {
+		m.lastDone = now
+	}
+	if m.nextTh < m.totalTh {
+		tid := m.nextTh
+		m.nextTh++
+		m.Counters.PSOps++
+		m.engine.At(now+PSLatency, func() { m.runThread(t, tid) })
+		return
+	}
+	m.outstanding--
+}
+
+// DRAMUtilization returns the fraction of total DRAM channel slots busy
+// over the machine's lifetime so far.
+func (m *Machine) DRAMUtilization() float64 {
+	cycles := m.engine.Now()
+	if cycles == 0 {
+		return 0
+	}
+	slots := float64(cycles) * float64(m.cfg.DRAMChannels())
+	return float64(m.memory.ChannelBusy()) / slots
+}
+
+// EnablePrefetch toggles the memory system's next-line prefetcher, one
+// of the XMT performance enhancements §II-A mentions. Exposed as a
+// switch so its benefit can be measured as an ablation.
+func (m *Machine) EnablePrefetch(on bool) { m.memory.Prefetch = on }

@@ -1,0 +1,196 @@
+package xmtc
+
+// Abstract syntax. Types carry through from parse to codegen; every
+// node records its source line for error messages.
+
+// Type is a value type.
+type Type int
+
+// Value types.
+const (
+	TInt Type = iota
+	TFloat
+)
+
+func (t Type) String() string {
+	if t == TFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// VarDecl declares a scalar or array variable.
+type VarDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int  // 0 for scalars
+	Init     Expr // optional, scalars only
+	Line     int
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt is a local declaration inside a block.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt assigns Value to Target (identifier or array element).
+type AssignStmt struct {
+	Target Expr // *IdentExpr or *IndexExpr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else []Stmt
+	Line       int
+}
+
+// WhileStmt is a loop. Step, when non-nil, is a for-loop's step
+// statement: it runs before every back edge (including via continue).
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Step Stmt
+	Line int
+}
+
+// SpawnStmt launches Count virtual threads running Body (serial mode
+// only; bodies may reference globals, their own locals and $).
+type SpawnStmt struct {
+	Count Expr
+	Body  []Stmt
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effect (ps).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// BlockStmt introduces a scope (used by the for-loop desugaring).
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*SpawnStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()   {}
+func (*BlockStmt) stmtNode()  {}
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+}
+
+// IdentExpr references a variable.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// ThreadID is $, the virtual thread id.
+type ThreadID struct{ Line int }
+
+// IndexExpr is array indexing name[idx].
+type IndexExpr struct {
+	Name string
+	Idx  Expr
+	Line int
+}
+
+// BinaryExpr applies Op to L and R.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr applies Op ("-" or "!") to X.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr is a builtin call: ps(k, delta), int(x), float(x).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*IdentExpr) exprNode()  {}
+func (*ThreadID) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+
+func (e *IntLit) Pos() int     { return e.Line }
+func (e *FloatLit) Pos() int   { return e.Line }
+func (e *IdentExpr) Pos() int  { return e.Line }
+func (e *ThreadID) Pos() int   { return e.Line }
+func (e *IndexExpr) Pos() int  { return e.Line }
+func (e *BinaryExpr) Pos() int { return e.Line }
+func (e *UnaryExpr) Pos() int  { return e.Line }
+func (e *CallExpr) Pos() int   { return e.Line }
+
+// FuncDecl is a user function definition. Functions are expanded by
+// compile-time inlining (XMT TCUs have no call stack in this model), so
+// recursion is rejected at compile time.
+type FuncDecl struct {
+	Name    string
+	HasRet  bool
+	RetType Type
+	Params  []*VarDecl
+	Body    []Stmt
+	Line    int
+}
+
+// ReturnStmt returns from the enclosing function (with a value when the
+// function is typed).
+type ReturnStmt struct {
+	Value Expr // nil for void functions
+	Line  int
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration (for loops
+// run the step statement first).
+type ContinueStmt struct{ Line int }
+
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	Main    []Stmt
+}

@@ -1,0 +1,1039 @@
+package xmtc
+
+import (
+	"fmt"
+	"math"
+
+	"xmtfft/internal/isa"
+	"xmtfft/internal/xmt"
+)
+
+// Register conventions. Thread id arrives in r1 (isa.TIDReg); r0 is
+// hardwired zero. Local scalars live in registers (the XMT TCU model:
+// locals are register-resident), expression evaluation uses a register
+// stack, and r13-r15 are codegen scratch.
+const (
+	firstLocalReg = 2
+	lastLocalReg  = 12
+	scratchReg    = 13
+	scratch2Reg   = 14
+	firstStackReg = 16
+	lastStackReg  = 30
+)
+
+// Symbol describes one global variable's memory placement.
+type Symbol struct {
+	Name     string
+	Type     Type
+	Addr     int // byte address in shared memory
+	ArrayLen int // 0 for scalars
+}
+
+// Compiled is the output of Compile: an assembled ISA program plus the
+// global memory layout and initial values.
+type Compiled struct {
+	Program *isa.Program
+	Symbols map[string]Symbol
+	// MemBytes is the shared memory consumed by globals and the
+	// floating-point constant pool.
+	MemBytes int
+	inits    []memInit
+}
+
+type memInit struct {
+	addr int
+	word uint32
+}
+
+// NewVM builds a VM for the compiled program on machine m with
+// extraBytes of shared memory beyond the globals, and writes the
+// initial values of globals and constants.
+func (c *Compiled) NewVM(m *xmt.Machine, extraBytes int) *isa.VM {
+	vm := isa.NewVM(m, c.Program, c.MemBytes+extraBytes)
+	for _, in := range c.inits {
+		vm.StoreWord(in.addr, int32(in.word))
+	}
+	return vm
+}
+
+// Run compiles nothing further: it creates a VM on m, applies setup (if
+// non-nil) and runs to halt, returning the VM for inspection.
+func (c *Compiled) Run(m *xmt.Machine, extraBytes int, setup func(*isa.VM)) (*isa.VM, uint64, error) {
+	vm := c.NewVM(m, extraBytes)
+	if setup != nil {
+		setup(vm)
+	}
+	cycles, err := vm.Run()
+	return vm, cycles, err
+}
+
+// Prelude is a library of XMTC functions available to every program
+// (user definitions of the same name take precedence). All are expanded
+// by the inliner like any other function.
+const Prelude = `
+func int min(int a, int b) {
+  if (a < b) { return a; }
+  return b;
+}
+func int max(int a, int b) {
+  if (a > b) { return a; }
+  return b;
+}
+func int abs(int a) {
+  if (a < 0) { return -a; }
+  return a;
+}
+func int clamp(int v, int lo, int hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+func float fmin(float a, float b) {
+  if (int(float(1000000) * (a - b)) < 0) { return a; }
+  return b;
+}
+main { }
+`
+
+// preludeFuncs parses the prelude once.
+func preludeFuncs() ([]*FuncDecl, error) {
+	p, err := Parse(Prelude)
+	if err != nil {
+		return nil, err
+	}
+	return p.Funcs, nil
+}
+
+// Compile parses and compiles an XMTC source file.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	cc := &compiler{
+		out:     &Compiled{Symbols: map[string]Symbol{}},
+		labels:  map[string]int{},
+		consts:  map[uint32]int{},
+		globals: map[string]Symbol{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	return cc.compile(prog)
+}
+
+// compiler holds codegen state.
+type compiler struct {
+	out     *Compiled
+	instrs  []isa.Instr
+	labels  map[string]int
+	patches []struct {
+		instr int
+		label string
+	}
+	nextLabel int
+
+	globals map[string]Symbol
+	funcs   map[string]*FuncDecl
+	memTop  int
+	consts  map[uint32]int // float-bits -> const pool address
+
+	// inlining state: innermost function being expanded.
+	inline []inlineCtx
+	// loop state: innermost loop's break/continue targets.
+	loops []loopCtx
+
+	// current function context
+	scopes    []map[string]local
+	regMarks  [][2]uint8 // register watermarks saved per scope
+	nextInt   uint8
+	nextFloat uint8
+	inThread  bool
+
+	// deferred thread bodies: compiled after the serial halt
+	bodies []deferredBody
+}
+
+type local struct {
+	typ Type
+	reg uint8
+}
+
+// isPrelude reports whether name belongs to the prelude set.
+func isPrelude(name string, prel []*FuncDecl) bool {
+	for _, f := range prel {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+type deferredBody struct {
+	label string
+	stmts []Stmt
+}
+
+// inlineCtx tracks one level of function inlining.
+type inlineCtx struct {
+	fn         *FuncDecl
+	endLabel   string
+	resultSlot int
+}
+
+// loopCtx tracks the innermost loop's control-flow targets. For
+// desugared for-loops, continueN points at the step statement.
+type loopCtx struct {
+	breakLabel    string
+	continueLabel string
+	// continueStmts is the for-loop step, re-emitted before the back
+	// edge so "continue" does not skip it.
+	continueStmt Stmt
+}
+
+func (c *compiler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) compile(p *Program) (*Compiled, error) {
+	// Prelude functions first; user definitions shadow them.
+	prel, err := preludeFuncs()
+	if err != nil {
+		return nil, fmt.Errorf("internal: prelude: %w", err)
+	}
+	for _, fn := range prel {
+		c.funcs[fn.Name] = fn
+	}
+	for _, fn := range p.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			if isPrelude(fn.Name, prel) {
+				// Shadowing the prelude is allowed.
+				c.funcs[fn.Name] = fn
+				continue
+			}
+			return nil, c.errf(fn.Line, "duplicate function %q", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	// Lay out globals.
+	for _, g := range p.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, c.errf(g.Line, "duplicate global %q", g.Name)
+		}
+		sym := Symbol{Name: g.Name, Type: g.Type, Addr: c.memTop, ArrayLen: g.ArrayLen}
+		size := 4
+		if g.ArrayLen > 0 {
+			size = 4 * g.ArrayLen
+		}
+		c.memTop += size
+		c.globals[g.Name] = sym
+		if g.Init != nil {
+			w, err := constWord(g.Init, g.Type)
+			if err != nil {
+				return nil, err
+			}
+			c.out.inits = append(c.out.inits, memInit{addr: sym.Addr, word: w})
+		}
+	}
+
+	// Serial main.
+	c.pushScope()
+	c.nextInt, c.nextFloat = firstLocalReg, firstLocalReg
+	for _, s := range p.Main {
+		if err := c.genStmt(s); err != nil {
+			return nil, err
+		}
+	}
+	c.popScope()
+	c.emit(isa.Instr{Op: isa.OpHALT})
+
+	// Thread bodies (may add more while compiling, e.g. nothing nested;
+	// nested spawn is rejected so one pass suffices, but iterate by
+	// index to stay safe).
+	for i := 0; i < len(c.bodies); i++ {
+		b := c.bodies[i]
+		c.defineLabel(b.label)
+		c.pushScope()
+		c.nextInt, c.nextFloat = firstLocalReg, firstLocalReg
+		c.inThread = true
+		for _, s := range b.stmts {
+			if err := c.genStmt(s); err != nil {
+				return nil, err
+			}
+		}
+		c.inThread = false
+		c.popScope()
+		c.emit(isa.Instr{Op: isa.OpJOIN})
+	}
+
+	// Resolve labels.
+	for _, pt := range c.patches {
+		idx, ok := c.labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("internal: unresolved label %q", pt.label)
+		}
+		c.instrs[pt.instr].Target = idx
+	}
+	c.out.Program = &isa.Program{Instrs: c.instrs, Labels: c.labels}
+	c.out.Symbols = c.globals
+	c.out.MemBytes = c.memTop
+	return c.out, nil
+}
+
+// constWord evaluates a global initializer (literal, possibly negated).
+func constWord(e Expr, t Type) (uint32, error) {
+	neg := false
+	if u, ok := e.(*UnaryExpr); ok && u.Op == "-" {
+		neg = true
+		e = u.X
+	}
+	switch v := e.(type) {
+	case *IntLit:
+		if t != TInt {
+			return 0, fmt.Errorf("line %d: int initializer for float global", v.Line)
+		}
+		x := v.Val
+		if neg {
+			x = -x
+		}
+		return uint32(int32(x)), nil
+	case *FloatLit:
+		if t != TFloat {
+			return 0, fmt.Errorf("line %d: float initializer for int global", v.Line)
+		}
+		x := v.Val
+		if neg {
+			x = -x
+		}
+		return math.Float32bits(float32(x)), nil
+	}
+	return 0, fmt.Errorf("line %d: global initializers must be literals", e.Pos())
+}
+
+// ---------------------------------------------------------------------
+// Emission helpers.
+
+func (c *compiler) emit(in isa.Instr) { c.instrs = append(c.instrs, in) }
+
+func (c *compiler) newLabel(prefix string) string {
+	c.nextLabel++
+	return fmt.Sprintf("%s_%d", prefix, c.nextLabel)
+}
+
+func (c *compiler) defineLabel(name string) { c.labels[name] = len(c.instrs) }
+
+func (c *compiler) emitToLabel(in isa.Instr, label string) {
+	c.patches = append(c.patches, struct {
+		instr int
+		label string
+	}{len(c.instrs), label})
+	c.emit(in)
+}
+
+// constAddr interns a float32 constant in the pool.
+func (c *compiler) constAddr(v float32) int {
+	bits := math.Float32bits(v)
+	if a, ok := c.consts[bits]; ok {
+		return a
+	}
+	a := c.memTop
+	c.memTop += 4
+	c.consts[bits] = a
+	c.out.inits = append(c.out.inits, memInit{addr: a, word: bits})
+	return a
+}
+
+// ---------------------------------------------------------------------
+// Scopes and locals.
+
+// pushScope opens a lexical scope and records the register watermark;
+// popScope releases the scope's registers (its locals are dead) so
+// sequential blocks and inlined calls reuse them instead of exhausting
+// the file.
+func (c *compiler) pushScope() {
+	c.scopes = append(c.scopes, map[string]local{})
+	c.regMarks = append(c.regMarks, [2]uint8{c.nextInt, c.nextFloat})
+}
+
+func (c *compiler) popScope() {
+	c.scopes = c.scopes[:len(c.scopes)-1]
+	mark := c.regMarks[len(c.regMarks)-1]
+	c.regMarks = c.regMarks[:len(c.regMarks)-1]
+	c.nextInt, c.nextFloat = mark[0], mark[1]
+}
+
+func (c *compiler) declareLocal(d *VarDecl) (local, error) {
+	if d.ArrayLen > 0 {
+		return local{}, c.errf(d.Line, "local arrays are not supported; declare %q globally", d.Name)
+	}
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		return local{}, c.errf(d.Line, "duplicate local %q", d.Name)
+	}
+	var reg uint8
+	if d.Type == TInt {
+		if c.nextInt > lastLocalReg {
+			return local{}, c.errf(d.Line, "too many int locals (max %d)", lastLocalReg-firstLocalReg+1)
+		}
+		reg = c.nextInt
+		c.nextInt++
+	} else {
+		if c.nextFloat > lastLocalReg {
+			return local{}, c.errf(d.Line, "too many float locals (max %d)", lastLocalReg-firstLocalReg+1)
+		}
+		reg = c.nextFloat
+		c.nextFloat++
+	}
+	l := local{typ: d.Type, reg: reg}
+	top[d.Name] = l
+	return l, nil
+}
+
+func (c *compiler) lookupLocal(name string) (local, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if l, ok := c.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+// ---------------------------------------------------------------------
+// Statements.
+
+func (c *compiler) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		l, err := c.declareLocal(st.Decl)
+		if err != nil {
+			return err
+		}
+		if st.Decl.Init != nil {
+			t, err := c.genExpr(st.Decl.Init, 0)
+			if err != nil {
+				return err
+			}
+			if t != st.Decl.Type {
+				return c.errf(st.Decl.Line, "cannot initialize %s local %q with %s value (use int()/float())",
+					st.Decl.Type, st.Decl.Name, t)
+			}
+			c.moveFromSlot(l, 0)
+		}
+		return nil
+
+	case *AssignStmt:
+		return c.genAssign(st)
+
+	case *IfStmt:
+		t, err := c.genExpr(st.Cond, 0)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return c.errf(st.Line, "if condition must be int")
+		}
+		elseL, endL := c.newLabel("else"), c.newLabel("endif")
+		c.emitToLabel(isa.Instr{Op: isa.OpBEQ, Ra: stackInt(0), Rb: 0}, elseL)
+		c.pushScope()
+		for _, s2 := range st.Then {
+			if err := c.genStmt(s2); err != nil {
+				return err
+			}
+		}
+		c.popScope()
+		c.emitToLabel(isa.Instr{Op: isa.OpJ}, endL)
+		c.defineLabel(elseL)
+		if st.Else != nil {
+			c.pushScope()
+			for _, s2 := range st.Else {
+				if err := c.genStmt(s2); err != nil {
+					return err
+				}
+			}
+			c.popScope()
+		}
+		c.defineLabel(endL)
+		return nil
+
+	case *WhileStmt:
+		startL, endL := c.newLabel("while"), c.newLabel("endwhile")
+		c.defineLabel(startL)
+		t, err := c.genExpr(st.Cond, 0)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return c.errf(st.Line, "while condition must be int")
+		}
+		c.emitToLabel(isa.Instr{Op: isa.OpBEQ, Ra: stackInt(0), Rb: 0}, endL)
+		c.pushScope()
+		c.loops = append(c.loops, loopCtx{breakLabel: endL, continueLabel: startL, continueStmt: st.Step})
+		for _, s2 := range st.Body {
+			if err := c.genStmt(s2); err != nil {
+				return err
+			}
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		if st.Step != nil {
+			if err := c.genStmt(st.Step); err != nil {
+				return err
+			}
+		}
+		c.popScope()
+		c.emitToLabel(isa.Instr{Op: isa.OpJ}, startL)
+		c.defineLabel(endL)
+		return nil
+
+	case *BreakStmt:
+		if len(c.loops) == 0 {
+			return c.errf(st.Line, "break outside a loop")
+		}
+		c.emitToLabel(isa.Instr{Op: isa.OpJ}, c.loops[len(c.loops)-1].breakLabel)
+		return nil
+
+	case *ContinueStmt:
+		if len(c.loops) == 0 {
+			return c.errf(st.Line, "continue outside a loop")
+		}
+		ctx := c.loops[len(c.loops)-1]
+		if ctx.continueStmt != nil {
+			// For-loop: execute the step before jumping to the test.
+			if err := c.genStmt(ctx.continueStmt); err != nil {
+				return err
+			}
+		}
+		c.emitToLabel(isa.Instr{Op: isa.OpJ}, ctx.continueLabel)
+		return nil
+
+	case *SpawnStmt:
+		if c.inThread {
+			return c.errf(st.Line, "nested spawn is not supported (XMTC uses sspawn for nesting)")
+		}
+		t, err := c.genExpr(st.Count, 0)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return c.errf(st.Line, "spawn count must be int")
+		}
+		label := c.newLabel("threadbody")
+		c.bodies = append(c.bodies, deferredBody{label: label, stmts: st.Body})
+		c.emitToLabel(isa.Instr{Op: isa.OpSPAWN, Ra: stackInt(0)}, label)
+		return nil
+
+	case *ExprStmt:
+		// A bare user-function call may be void; everything else
+		// evaluates into slot 0 and is discarded.
+		if call, ok := st.X.(*CallExpr); ok {
+			if fn, isUser := c.funcs[call.Name]; isUser && !fn.HasRet {
+				return c.inlineCall(fn, call, 0)
+			}
+		}
+		_, err := c.genExpr(st.X, 0)
+		return err
+
+	case *ReturnStmt:
+		if len(c.inline) == 0 {
+			return c.errf(st.Line, "return outside a function")
+		}
+		ctx := c.inline[len(c.inline)-1]
+		if ctx.fn.HasRet {
+			if st.Value == nil {
+				return c.errf(st.Line, "function %q must return a %s value", ctx.fn.Name, ctx.fn.RetType)
+			}
+			t, err := c.genExpr(st.Value, ctx.resultSlot)
+			if err != nil {
+				return err
+			}
+			if t != ctx.fn.RetType {
+				return c.errf(st.Line, "function %q returns %s, got %s", ctx.fn.Name, ctx.fn.RetType, t)
+			}
+		} else if st.Value != nil {
+			return c.errf(st.Line, "void function %q cannot return a value", ctx.fn.Name)
+		}
+		c.emitToLabel(isa.Instr{Op: isa.OpJ}, ctx.endLabel)
+		return nil
+
+	case *BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, s2 := range st.Stmts {
+			if err := c.genStmt(s2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("internal: unknown statement %T", s)
+}
+
+func (c *compiler) genAssign(st *AssignStmt) error {
+	switch target := st.Target.(type) {
+	case *IdentExpr:
+		if l, ok := c.lookupLocal(target.Name); ok {
+			t, err := c.genExpr(st.Value, 0)
+			if err != nil {
+				return err
+			}
+			if t != l.typ {
+				return c.errf(st.Line, "cannot assign %s to %s variable %q", t, l.typ, target.Name)
+			}
+			c.moveFromSlot(l, 0)
+			return nil
+		}
+		sym, ok := c.globals[target.Name]
+		if !ok {
+			return c.errf(st.Line, "undefined variable %q", target.Name)
+		}
+		if sym.ArrayLen > 0 {
+			return c.errf(st.Line, "cannot assign to array %q without an index", target.Name)
+		}
+		t, err := c.genExpr(st.Value, 0)
+		if err != nil {
+			return err
+		}
+		if t != sym.Type {
+			return c.errf(st.Line, "cannot assign %s to %s global %q", t, sym.Type, target.Name)
+		}
+		if sym.Type == TInt {
+			c.emit(isa.Instr{Op: isa.OpSW, Rd: stackInt(0), Ra: 0, Imm: int64(sym.Addr)})
+		} else {
+			c.emit(isa.Instr{Op: isa.OpSWF, Rd: stackFloat(0), Ra: 0, Imm: int64(sym.Addr)})
+		}
+		return nil
+
+	case *IndexExpr:
+		sym, ok := c.globals[target.Name]
+		if !ok {
+			return c.errf(st.Line, "undefined array %q", target.Name)
+		}
+		if sym.ArrayLen == 0 {
+			return c.errf(st.Line, "%q is not an array", target.Name)
+		}
+		t, err := c.genExpr(st.Value, 0)
+		if err != nil {
+			return err
+		}
+		if t != sym.Type {
+			return c.errf(st.Line, "cannot store %s into %s array %q", t, sym.Type, target.Name)
+		}
+		it, err := c.genExpr(target.Idx, 1)
+		if err != nil {
+			return err
+		}
+		if it != TInt {
+			return c.errf(st.Line, "array index must be int")
+		}
+		c.emit(isa.Instr{Op: isa.OpSLLI, Rd: scratchReg, Ra: stackInt(1), Imm: 2})
+		if sym.Type == TInt {
+			c.emit(isa.Instr{Op: isa.OpSW, Rd: stackInt(0), Ra: scratchReg, Imm: int64(sym.Addr)})
+		} else {
+			c.emit(isa.Instr{Op: isa.OpSWF, Rd: stackFloat(0), Ra: scratchReg, Imm: int64(sym.Addr)})
+		}
+		return nil
+	}
+	return c.errf(st.Line, "bad assignment target")
+}
+
+// moveFromSlot copies expression slot 0..k into a local register.
+func (c *compiler) moveFromSlot(l local, slot int) {
+	if l.typ == TInt {
+		c.emit(isa.Instr{Op: isa.OpADD, Rd: l.reg, Ra: stackInt(slot), Rb: 0})
+	} else {
+		c.emit(isa.Instr{Op: isa.OpFMOV, Rd: l.reg, Ra: stackFloat(slot)})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expressions. genExpr leaves the value in stack slot `slot`
+// (r16+slot for ints, f16+slot for floats) and returns its type.
+
+func stackInt(slot int) uint8   { return uint8(firstStackReg + slot) }
+func stackFloat(slot int) uint8 { return uint8(firstStackReg + slot) }
+
+func (c *compiler) checkSlot(slot int, line int) error {
+	if firstStackReg+slot > lastStackReg {
+		return c.errf(line, "expression too deeply nested")
+	}
+	return nil
+}
+
+func (c *compiler) genExpr(e Expr, slot int) (Type, error) {
+	if err := c.checkSlot(slot, e.Pos()); err != nil {
+		return 0, err
+	}
+	switch ex := e.(type) {
+	case *IntLit:
+		c.emit(isa.Instr{Op: isa.OpLI, Rd: stackInt(slot), Imm: ex.Val})
+		return TInt, nil
+
+	case *FloatLit:
+		addr := c.constAddr(float32(ex.Val))
+		c.emit(isa.Instr{Op: isa.OpLWF, Rd: stackFloat(slot), Ra: 0, Imm: int64(addr)})
+		return TFloat, nil
+
+	case *ThreadID:
+		if !c.inThread {
+			return 0, c.errf(ex.Line, "$ is only defined inside spawn")
+		}
+		c.emit(isa.Instr{Op: isa.OpADD, Rd: stackInt(slot), Ra: isa.TIDReg, Rb: 0})
+		return TInt, nil
+
+	case *IdentExpr:
+		if l, ok := c.lookupLocal(ex.Name); ok {
+			if l.typ == TInt {
+				c.emit(isa.Instr{Op: isa.OpADD, Rd: stackInt(slot), Ra: l.reg, Rb: 0})
+			} else {
+				c.emit(isa.Instr{Op: isa.OpFMOV, Rd: stackFloat(slot), Ra: l.reg})
+			}
+			return l.typ, nil
+		}
+		sym, ok := c.globals[ex.Name]
+		if !ok {
+			return 0, c.errf(ex.Line, "undefined variable %q", ex.Name)
+		}
+		if sym.ArrayLen > 0 {
+			return 0, c.errf(ex.Line, "array %q used without an index", ex.Name)
+		}
+		if sym.Type == TInt {
+			c.emit(isa.Instr{Op: isa.OpLW, Rd: stackInt(slot), Ra: 0, Imm: int64(sym.Addr)})
+		} else {
+			c.emit(isa.Instr{Op: isa.OpLWF, Rd: stackFloat(slot), Ra: 0, Imm: int64(sym.Addr)})
+		}
+		return sym.Type, nil
+
+	case *IndexExpr:
+		sym, ok := c.globals[ex.Name]
+		if !ok {
+			return 0, c.errf(ex.Line, "undefined array %q", ex.Name)
+		}
+		if sym.ArrayLen == 0 {
+			return 0, c.errf(ex.Line, "%q is not an array", ex.Name)
+		}
+		it, err := c.genExpr(ex.Idx, slot)
+		if err != nil {
+			return 0, err
+		}
+		if it != TInt {
+			return 0, c.errf(ex.Line, "array index must be int")
+		}
+		c.emit(isa.Instr{Op: isa.OpSLLI, Rd: scratchReg, Ra: stackInt(slot), Imm: 2})
+		if sym.Type == TInt {
+			c.emit(isa.Instr{Op: isa.OpLW, Rd: stackInt(slot), Ra: scratchReg, Imm: int64(sym.Addr)})
+		} else {
+			c.emit(isa.Instr{Op: isa.OpLWF, Rd: stackFloat(slot), Ra: scratchReg, Imm: int64(sym.Addr)})
+		}
+		return sym.Type, nil
+
+	case *UnaryExpr:
+		t, err := c.genExpr(ex.X, slot)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case "-":
+			if t == TInt {
+				c.emit(isa.Instr{Op: isa.OpSUB, Rd: stackInt(slot), Ra: 0, Rb: stackInt(slot)})
+			} else {
+				c.emit(isa.Instr{Op: isa.OpFNEG, Rd: stackFloat(slot), Ra: stackFloat(slot)})
+			}
+			return t, nil
+		case "!":
+			if t != TInt {
+				return 0, c.errf(ex.Line, "! requires an int operand")
+			}
+			c.genCompareZero(isa.OpBEQ, slot)
+			return TInt, nil
+		}
+		return 0, c.errf(ex.Line, "unknown unary operator %q", ex.Op)
+
+	case *CallExpr:
+		return c.genCall(ex, slot)
+
+	case *BinaryExpr:
+		return c.genBinary(ex, slot)
+	}
+	return 0, fmt.Errorf("internal: unknown expression %T", e)
+}
+
+// genCompareZero replaces slot's int value with 1 if <branch op against
+// zero> is taken, else 0 (used for !x).
+func (c *compiler) genCompareZero(op isa.Opcode, slot int) {
+	l := c.newLabel("cz")
+	c.emit(isa.Instr{Op: isa.OpLI, Rd: scratchReg, Imm: 1})
+	c.emitToLabel(isa.Instr{Op: op, Ra: stackInt(slot), Rb: 0}, l)
+	c.emit(isa.Instr{Op: isa.OpLI, Rd: scratchReg, Imm: 0})
+	c.defineLabel(l)
+	c.emit(isa.Instr{Op: isa.OpADD, Rd: stackInt(slot), Ra: scratchReg, Rb: 0})
+}
+
+func (c *compiler) genCall(ex *CallExpr, slot int) (Type, error) {
+	if fn, ok := c.funcs[ex.Name]; ok {
+		if !fn.HasRet {
+			return 0, c.errf(ex.Line, "void function %q used as a value", ex.Name)
+		}
+		if err := c.inlineCall(fn, ex, slot); err != nil {
+			return 0, err
+		}
+		return fn.RetType, nil
+	}
+	switch ex.Name {
+	case "ps":
+		if len(ex.Args) != 2 {
+			return 0, c.errf(ex.Line, "ps takes (counter, delta)")
+		}
+		k, ok := ex.Args[0].(*IntLit)
+		if !ok || k.Val < 0 || k.Val >= isa.NumGlobalRegs {
+			return 0, c.errf(ex.Line, "ps counter must be an integer literal 0..%d", isa.NumGlobalRegs-1)
+		}
+		t, err := c.genExpr(ex.Args[1], slot)
+		if err != nil {
+			return 0, err
+		}
+		if t != TInt {
+			return 0, c.errf(ex.Line, "ps delta must be int")
+		}
+		c.emit(isa.Instr{Op: isa.OpPS, Rd: stackInt(slot), Ra: uint8(k.Val)})
+		return TInt, nil
+
+	case "int":
+		if len(ex.Args) != 1 {
+			return 0, c.errf(ex.Line, "int() takes one argument")
+		}
+		t, err := c.genExpr(ex.Args[0], slot)
+		if err != nil {
+			return 0, err
+		}
+		if t == TInt {
+			return TInt, nil
+		}
+		c.emit(isa.Instr{Op: isa.OpCVTFI, Rd: stackInt(slot), Ra: stackFloat(slot)})
+		return TInt, nil
+
+	case "float":
+		if len(ex.Args) != 1 {
+			return 0, c.errf(ex.Line, "float() takes one argument")
+		}
+		t, err := c.genExpr(ex.Args[0], slot)
+		if err != nil {
+			return 0, err
+		}
+		if t == TFloat {
+			return TFloat, nil
+		}
+		c.emit(isa.Instr{Op: isa.OpCVTIF, Rd: stackFloat(slot), Ra: stackInt(slot)})
+		return TFloat, nil
+	}
+	return 0, c.errf(ex.Line, "unknown function %q", ex.Name)
+}
+
+var intBinOps = map[string]isa.Opcode{
+	"+": isa.OpADD, "-": isa.OpSUB, "*": isa.OpMUL, "/": isa.OpDIV,
+	"%": isa.OpREM, "&": isa.OpAND, "|": isa.OpOR, "^": isa.OpXOR,
+	"<<": isa.OpSLL, ">>": isa.OpSRL,
+}
+
+var floatBinOps = map[string]isa.Opcode{
+	"+": isa.OpFADD, "-": isa.OpFSUB, "*": isa.OpFMUL, "/": isa.OpFDIV,
+}
+
+// comparison op -> (branch opcode, swap operands)
+var cmpOps = map[string]struct {
+	op   isa.Opcode
+	swap bool
+}{
+	"==": {isa.OpBEQ, false},
+	"!=": {isa.OpBNE, false},
+	"<":  {isa.OpBLT, false},
+	">=": {isa.OpBGE, false},
+	">":  {isa.OpBLT, true},
+	"<=": {isa.OpBGE, true},
+}
+
+// foldConst evaluates integer constant expressions at compile time,
+// returning (value, true) when e is a compile-time int constant.
+func foldConst(e Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *IntLit:
+		return v.Val, true
+	case *UnaryExpr:
+		x, ok := foldConst(v.X)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case "-":
+			return -x, true
+		case "!":
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *BinaryExpr:
+		l, ok := foldConst(v.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := foldConst(v.R)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false // leave for runtime error reporting
+			}
+			return l / r, true
+		case "%":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case "&":
+			return l & r, true
+		case "|":
+			return l | r, true
+		case "^":
+			return l ^ r, true
+		case "<<":
+			return l << uint(r&63), true
+		case ">>":
+			return int64(uint64(l) >> uint(r&63)), true
+		}
+	}
+	return 0, false
+}
+
+func (c *compiler) genBinary(ex *BinaryExpr, slot int) (Type, error) {
+	// Constant folding: a compile-time int expression becomes a single
+	// load-immediate instead of an instruction tree.
+	if v, ok := foldConst(ex); ok {
+		c.emit(isa.Instr{Op: isa.OpLI, Rd: stackInt(slot), Imm: v})
+		return TInt, nil
+	}
+	lt, err := c.genExpr(ex.L, slot)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := c.genExpr(ex.R, slot+1)
+	if err != nil {
+		return 0, err
+	}
+	if lt != rt {
+		return 0, c.errf(ex.Line, "operands of %q have mixed types %s and %s (use int()/float())", ex.Op, lt, rt)
+	}
+
+	if cmp, ok := cmpOps[ex.Op]; ok {
+		if lt != TInt {
+			return 0, c.errf(ex.Line, "comparison %q requires int operands (compare via int() or restructure)", ex.Op)
+		}
+		a, b := stackInt(slot), stackInt(slot+1)
+		if cmp.swap {
+			a, b = b, a
+		}
+		l := c.newLabel("cmp")
+		c.emit(isa.Instr{Op: isa.OpLI, Rd: scratchReg, Imm: 1})
+		c.emitToLabel(isa.Instr{Op: cmp.op, Ra: a, Rb: b}, l)
+		c.emit(isa.Instr{Op: isa.OpLI, Rd: scratchReg, Imm: 0})
+		c.defineLabel(l)
+		c.emit(isa.Instr{Op: isa.OpADD, Rd: stackInt(slot), Ra: scratchReg, Rb: 0})
+		return TInt, nil
+	}
+
+	switch ex.Op {
+	case "&&", "||":
+		if lt != TInt {
+			return 0, c.errf(ex.Line, "%q requires int operands", ex.Op)
+		}
+		// Normalize both to 0/1, then combine bitwise. (No short
+		// circuit: XMTC threads are branchy enough already.)
+		c.genCompareZero(isa.OpBNE, slot)
+		c.genCompareZero(isa.OpBNE, slot+1)
+		op := isa.OpAND
+		if ex.Op == "||" {
+			op = isa.OpOR
+		}
+		c.emit(isa.Instr{Op: op, Rd: stackInt(slot), Ra: stackInt(slot), Rb: stackInt(slot + 1)})
+		return TInt, nil
+	}
+
+	if lt == TInt {
+		op, ok := intBinOps[ex.Op]
+		if !ok {
+			return 0, c.errf(ex.Line, "operator %q not defined for int", ex.Op)
+		}
+		c.emit(isa.Instr{Op: op, Rd: stackInt(slot), Ra: stackInt(slot), Rb: stackInt(slot + 1)})
+		return TInt, nil
+	}
+	op, ok := floatBinOps[ex.Op]
+	if !ok {
+		return 0, c.errf(ex.Line, "operator %q not defined for float", ex.Op)
+	}
+	c.emit(isa.Instr{Op: op, Rd: stackFloat(slot), Ra: stackFloat(slot), Rb: stackFloat(slot + 1)})
+	return TFloat, nil
+}
+
+// inlineCall expands a user function at the call site: arguments are
+// evaluated into fresh parameter locals, the body is compiled inline,
+// and return statements leave the value in resultSlot and jump to the
+// end label. Recursion is impossible without a stack and is rejected.
+func (c *compiler) inlineCall(fn *FuncDecl, call *CallExpr, resultSlot int) error {
+	for _, ctx := range c.inline {
+		if ctx.fn == fn {
+			return c.errf(call.Line, "recursive call to %q (functions are inlined; recursion is not supported)", fn.Name)
+		}
+	}
+	if len(call.Args) != len(fn.Params) {
+		return c.errf(call.Line, "function %q takes %d arguments, got %d", fn.Name, len(fn.Params), len(call.Args))
+	}
+	if fn.HasRet {
+		// Deterministic result if the body falls off the end.
+		if fn.RetType == TInt {
+			c.emit(isa.Instr{Op: isa.OpLI, Rd: stackInt(resultSlot), Imm: 0})
+		} else {
+			zero := c.constAddr(0)
+			c.emit(isa.Instr{Op: isa.OpLWF, Rd: stackFloat(resultSlot), Ra: 0, Imm: int64(zero)})
+		}
+	}
+	c.pushScope()
+	defer c.popScope()
+	// Evaluate arguments (in the caller's scope semantics — parameters
+	// are not yet visible) into temporary slots above resultSlot, then
+	// bind them to parameter registers.
+	for i, arg := range call.Args {
+		t, err := c.genExpr(arg, resultSlot+1+i)
+		if err != nil {
+			return err
+		}
+		if t != fn.Params[i].Type {
+			return c.errf(call.Line, "argument %d of %q: want %s, got %s", i+1, fn.Name, fn.Params[i].Type, t)
+		}
+	}
+	for i, prm := range fn.Params {
+		l, err := c.declareLocal(prm)
+		if err != nil {
+			return err
+		}
+		c.moveFromSlot(l, resultSlot+1+i)
+	}
+	end := c.newLabel("fnend")
+	c.inline = append(c.inline, inlineCtx{fn: fn, endLabel: end, resultSlot: resultSlot})
+	// A function body cannot break/continue the caller's loops even
+	// though it is textually inlined into them.
+	savedLoops := c.loops
+	c.loops = nil
+	for _, st := range fn.Body {
+		if err := c.genStmt(st); err != nil {
+			return err
+		}
+	}
+	c.loops = savedLoops
+	c.inline = c.inline[:len(c.inline)-1]
+	c.defineLabel(end)
+	return nil
+}

@@ -1,0 +1,68 @@
+package xmtc_test
+
+import (
+	"fmt"
+	"log"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/xmt"
+	"xmtfft/internal/xmtc"
+)
+
+// Compile and run an XMTC program: a parallel histogram using the
+// prefix-sum builtin, the canonical XMT idiom.
+func Example() {
+	src := `
+int data[100];
+int odd;
+main {
+  for (int i = 0; i < 100; i += 1) { data[i] = i; }
+  spawn (100) {
+    if (data[$] % 2 == 1) { ps(0, 1); }
+  }
+  odd = ps(0, 0);
+}
+`
+	compiled, err := xmtc.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, _ := config.FourK().Scaled(128)
+	m, _ := xmt.New(cfg)
+	vm, _, err := compiled.Run(m, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("odd numbers:", vm.LoadWord(compiled.Symbols["odd"].Addr))
+	// Output:
+	// odd numbers: 50
+}
+
+// Functions are expanded by compile-time inlining.
+func ExampleCompile_functions() {
+	src := `
+int out;
+func int gcd(int a, int b) {
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+main { out = gcd(462, 1071); }
+`
+	compiled, err := xmtc.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, _ := config.FourK().Scaled(64)
+	m, _ := xmt.New(cfg)
+	vm, _, err := compiled.Run(m, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gcd:", vm.LoadWord(compiled.Symbols["out"].Addr))
+	// Output:
+	// gcd: 21
+}

@@ -1,0 +1,142 @@
+package xmtc
+
+import (
+	"math"
+	"testing"
+
+	"xmtfft/internal/fft"
+	"xmtfft/internal/isa"
+)
+
+func TestXMTCFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{8, 32, 128} {
+		c, err := Compile(FFT1DSource(n))
+		if err != nil {
+			t.Fatalf("n=%d: compile: %v", n, err)
+		}
+		// Input: a deterministic pseudo-random complex signal.
+		input := make([]complex64, n)
+		for i := range input {
+			input[i] = complex(float32(math.Sin(float64(i)*1.3)), float32(math.Cos(float64(i)*0.7)))
+		}
+		want := fft.DFT(input, fft.Forward)
+
+		vm, cycles, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+			reA := c.Symbols["re"].Addr
+			imA := c.Symbols["im"].Addr
+			wreA := c.Symbols["wre"].Addr
+			wimA := c.Symbols["wim"].Addr
+			for i := range input {
+				vm.StoreFloat(reA+i*4, real(input[i]))
+				vm.StoreFloat(imA+i*4, imag(input[i]))
+				s, cc := math.Sincos(-2 * math.Pi * float64(i) / float64(n))
+				vm.StoreFloat(wreA+i*4, float32(cc))
+				vm.StoreFloat(wimA+i*4, float32(s))
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: run: %v", n, err)
+		}
+		if cycles == 0 {
+			t.Fatalf("n=%d: no cycles", n)
+		}
+
+		reA := c.Symbols["re"].Addr
+		imA := c.Symbols["im"].Addr
+		var num, den float64
+		for k := 0; k < n; k++ {
+			got := complex(float64(vm.LoadFloat(reA+k*4)), float64(vm.LoadFloat(imA+k*4)))
+			w := complex128(want[k])
+			d := got - w
+			num += real(d)*real(d) + imag(d)*imag(d)
+			den += real(w)*real(w) + imag(w)*imag(w)
+		}
+		if e := math.Sqrt(num / den); e > 1e-4 {
+			t.Errorf("n=%d: XMTC FFT error %g vs DFT", n, e)
+		}
+		t.Logf("n=%d: XMTC FFT in %d simulated cycles (%d threads)", n, cycles, vm.Machine.Counters.Threads)
+	}
+}
+
+// The XMTC FFT's simulated cycle count scales sub-linearly in N on a
+// machine with enough TCUs (the whole point of the architecture).
+func TestXMTCFFTParallelScaling(t *testing.T) {
+	cyclesFor := func(n int) uint64 {
+		c, err := Compile(FFT1DSource(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cycles, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+			wreA := c.Symbols["wre"].Addr
+			wimA := c.Symbols["wim"].Addr
+			for i := 0; i < n; i++ {
+				s, cc := math.Sincos(-2 * math.Pi * float64(i) / float64(n))
+				vm.StoreFloat(wreA+i*4, float32(cc))
+				vm.StoreFloat(wimA+i*4, float32(s))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	c32, c256 := cyclesFor(32), cyclesFor(256)
+	// 8x the data and 8/5 the passes, but 128 TCUs: far less than the
+	// serial 12.8x work ratio.
+	if ratio := float64(c256) / float64(c32); ratio > 8 {
+		t.Errorf("cycle ratio 256/32 = %.1f, want sublinear (<8)", ratio)
+	}
+}
+
+func TestXMTCFFT2DMatchesHost(t *testing.T) {
+	const n = 16
+	c, err := Compile(FFT2DSource(n))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	input := make([]complex64, n*n)
+	for i := range input {
+		input[i] = complex(float32(math.Sin(float64(i)*0.9)), float32(math.Cos(float64(i)*0.4)))
+	}
+	want := append([]complex64(nil), input...)
+	p, err := fft.NewPlan2D[complex64](n, n, fft.WithNorm(fft.NormNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(want, fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+
+	vm, cycles, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		reA := c.Symbols["re"].Addr
+		imA := c.Symbols["im"].Addr
+		wreA := c.Symbols["wre"].Addr
+		wimA := c.Symbols["wim"].Addr
+		for i := range input {
+			vm.StoreFloat(reA+i*4, real(input[i]))
+			vm.StoreFloat(imA+i*4, imag(input[i]))
+		}
+		for i := 0; i < n; i++ {
+			s, cc := math.Sincos(-2 * math.Pi * float64(i) / float64(n))
+			vm.StoreFloat(wreA+i*4, float32(cc))
+			vm.StoreFloat(wimA+i*4, float32(s))
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	reA := c.Symbols["re"].Addr
+	imA := c.Symbols["im"].Addr
+	var num, den float64
+	for k := 0; k < n*n; k++ {
+		got := complex(float64(vm.LoadFloat(reA+k*4)), float64(vm.LoadFloat(imA+k*4)))
+		w := complex128(want[k])
+		d := got - w
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(w)*real(w) + imag(w)*imag(w)
+	}
+	if e := math.Sqrt(num / den); e > 1e-4 {
+		t.Errorf("2D XMTC FFT error %g", e)
+	}
+	t.Logf("2D XMTC FFT %dx%d in %d cycles, %d threads", n, n, cycles, vm.Machine.Counters.Threads)
+}

@@ -1,0 +1,122 @@
+package xmtc
+
+import "strconv"
+
+// FFT1DSource returns an XMTC program computing an in-place n-point
+// radix-2 decimation-in-frequency (Stockham, self-sorting) FFT of the
+// complex data in re[]/im[], using precomputed n-th roots of unity in
+// wre[]/wim[] — the paper's algorithm written in the paper's language,
+// at radix 2 for clarity. n must be a power of two.
+//
+// Each pass spawns n/2 butterfly threads (breadth-first, maximum
+// parallelism, §IV-A), then n copy threads to return the ping-pong
+// buffer. The serial master only steps the pass counter: the structure
+// §IV-B describes as requiring "only a modest effort beyond a serial
+// implementation". The caller seeds wre/wim with cos/sin(-2πi/n) (or
+// the conjugate for an inverse transform) before running; see
+// examples/xmtcfft.
+func FFT1DSource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+int n = ` + ns + `;
+int s = 1;
+float re[` + ns + `];  float im[` + ns + `];
+float re2[` + ns + `]; float im2[` + ns + `];
+float wre[` + ns + `]; float wim[` + ns + `];
+main {
+  while (s < n) {
+    spawn (n / 2) {
+      int j = $ / s;
+      int d = $ - j * s;
+      int ia = d + s * j;
+      int ib = ia + n / 2;
+      int io = d + 2 * s * j;
+      float ar = re[ia]; float ai = im[ia];
+      float br = re[ib]; float bi = im[ib];
+      re2[io] = ar + br;
+      im2[io] = ai + bi;
+      float dr = ar - br;
+      float di = ai - bi;
+      float wr = wre[s * j];
+      float wi = wim[s * j];
+      re2[io + s] = dr * wr - di * wi;
+      im2[io + s] = dr * wi + di * wr;
+    }
+    spawn (n) {
+      re[$] = re2[$];
+      im[$] = im2[$];
+    }
+    s = s * 2;
+  }
+}
+`
+}
+
+// FFT2DSource returns an XMTC program computing an in-place rows×n 2D
+// FFT: every row is transformed (radix-2 Stockham passes over all rows
+// at once — rows*n/2 butterfly threads per pass, the fine-grained
+// parallelization of §IV-A), then the array is transposed in parallel
+// and the row passes run again over the original columns. Requires
+// rows == n (square) so the transpose is in-place-shaped; data in
+// re[]/im[] (row-major), n-th roots in wre[]/wim[].
+func FFT2DSource(n int) string {
+	ns := strconv.Itoa(n)
+	total := strconv.Itoa(n * n)
+	half := strconv.Itoa(n * n / 2)
+	return `
+int n = ` + ns + `;
+int s = 1;
+int round = 0;
+float re[` + total + `];  float im[` + total + `];
+float re2[` + total + `]; float im2[` + total + `];
+float wre[` + ns + `]; float wim[` + ns + `];
+
+main {
+  while (round < 2) {
+    // All rows' passes, breadth-first: one thread per butterfly across
+    // the whole array.
+    s = 1;
+    while (s < n) {
+      spawn (` + half + `) {
+        int perRow = n / 2;
+        int row = $ / perRow;
+        int b = $ - row * perRow;
+        int j = b / s;
+        int d = b - j * s;
+        int base = row * n;
+        int ia = base + d + s * j;
+        int ib = ia + n / 2;
+        int io = base + d + 2 * s * j;
+        float ar = re[ia]; float ai = im[ia];
+        float br = re[ib]; float bi = im[ib];
+        re2[io] = ar + br;
+        im2[io] = ai + bi;
+        float dr = ar - br;
+        float di = ai - bi;
+        float wr = wre[s * j];
+        float wi = wim[s * j];
+        re2[io + s] = dr * wr - di * wi;
+        im2[io + s] = dr * wi + di * wr;
+      }
+      spawn (` + total + `) {
+        re[$] = re2[$];
+        im[$] = im2[$];
+      }
+      s = s * 2;
+    }
+    // Transpose so the next round transforms the original columns.
+    spawn (` + total + `) {
+      int i = $ / n;
+      int j = $ - i * n;
+      re2[j * n + i] = re[$];
+      im2[j * n + i] = im[$];
+    }
+    spawn (` + total + `) {
+      re[$] = re2[$];
+      im[$] = im2[$];
+    }
+    round = round + 1;
+  }
+}
+`
+}

@@ -1,0 +1,48 @@
+package xmtc
+
+import "testing"
+
+// FuzzCompile checks that the XMTC front end never panics: every input
+// either compiles to a well-formed ISA program or returns an error.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"main { }",
+		"int a;\nmain { a = 1 + 2 * 3; }",
+		"int a[8];\nmain { spawn (8) { a[$] = $; } }",
+		"float x;\nmain { x = float(3) / 2.0; }",
+		"main { for (int i = 0; i < 4; i += 1) { } }",
+		"int n = 4;\nmain { while (n > 0) { n -= 1; } }",
+		"main { if (1 < 2) { } else if (2 < 3) { } else { } }",
+		"main { int s = ps(0, 1); }",
+		"main { spawn (2) { int v = $ && !$ || 1; } }",
+		"int a; main { a = ((((1)))); }",
+		"main { } trailing",
+		"int int;",
+		"main { a[ = ; }",
+		"/* unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must be structurally sound.
+		if c.Program == nil || len(c.Program.Instrs) == 0 {
+			t.Fatalf("compiled program empty for %q", src)
+		}
+		for i, in := range c.Program.Instrs {
+			if in.Target < 0 || in.Target > len(c.Program.Instrs) {
+				t.Fatalf("instr %d target %d out of range", i, in.Target)
+			}
+		}
+		if c.MemBytes < 0 {
+			t.Fatalf("negative memory size")
+		}
+	})
+}

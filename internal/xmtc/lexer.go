@@ -1,0 +1,164 @@
+// Package xmtc implements a compiler for a small XMTC-like language —
+// the single-program parallel C dialect used to program XMT (§III-A
+// references the XMTC compiler and toolchain). Programs mix serial code
+// with spawn blocks whose bodies run as fine-grained virtual threads;
+// the thread id is written $ and the prefix-sum primitive is the
+// builtin ps(counter, delta), exactly the surface XMTC exposes.
+//
+// The compiler targets the register-level ISA of internal/isa, so
+// compiled programs execute under the full machine timing model.
+//
+// Grammar (EBNF):
+//
+//	program  := { decl ";" | "func" funcdef } "main" block
+//	decl     := type ident [ "[" int "]" ] [ "=" expr ]
+//	type     := "int" | "float"
+//	funcdef  := [ type ] ident "(" [ type ident { "," type ident } ] ")" block
+//	block    := "{" { stmt } "}"
+//	stmt     := decl ";" | "if" "(" expr ")" block [ "else" block ]
+//	          | "while" "(" expr ")" block
+//	          | "for" "(" simple ";" expr ";" simple ")" block
+//	          | "spawn" "(" expr ")" block
+//	          | "return" [ expr ] ";" | "break" ";" | "continue" ";"
+//	          | expr [ ("=" | "+=" | "-=" | "*=" | "/=" | "%=") expr ] ";"
+//	expr     := standard C precedence over || && | ^ & == != < <= > >=
+//	            << >> + - * / % with unary - !, parentheses, int and
+//	            float literals, identifiers, array indexing a[e], the
+//	            thread id $, builtin ps(k, e), casts int(e)/float(e), and
+//	            calls to user functions or the prelude (min/max/abs/clamp),
+//	            all expanded by compile-time inlining
+//
+// Integer constant subexpressions are folded at compile time.
+package xmtc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and delimiters
+	tokDollar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokDollar:
+		return "$"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src; // and /* */ comments are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				return nil, fmt.Errorf("line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+j+2], "\n")
+			i += 2 + j + 2
+		case c == '$':
+			toks = append(toks, token{kind: tokDollar, text: "$", line: line})
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j < n && src[j] == '.' {
+				isFloat = true
+				j++
+				for j < n && (src[j] >= '0' && src[j] <= '9') {
+					j++
+				}
+			}
+			text := src[i:j]
+			t := token{text: text, line: line}
+			if isFloat {
+				t.kind = tokFloat
+				if _, err := fmt.Sscanf(text, "%g", &t.fval); err != nil {
+					return nil, fmt.Errorf("line %d: bad float literal %q", line, text)
+				}
+			} else {
+				t.kind = tokInt
+				if _, err := fmt.Sscanf(text, "%d", &t.ival); err != nil {
+					return nil, fmt.Errorf("line %d: bad int literal %q", line, text)
+				}
+			}
+			toks = append(toks, t)
+			i = j
+		default:
+			// Two-character operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+					"+=", "-=", "*=", "/=", "%=":
+					toks = append(toks, token{kind: tokPunct, text: two, line: line})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '=', '!',
+				'(', ')', '{', '}', '[', ']', ';', ',':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

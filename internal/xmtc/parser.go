@@ -1,0 +1,513 @@
+package xmtc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse builds the AST for an XMTC source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for {
+		if p.peek().kind == tokIdent && (p.peek().text == "int" || p.peek().text == "float") {
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+			continue
+		}
+		if p.acceptIdent("func") {
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		break
+	}
+	if !p.acceptIdent("main") {
+		return nil, fmt.Errorf("line %d: expected 'main', got %s", p.peek().line, p.peek())
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	prog.Main = body
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("line %d: unexpected %s after main block", p.peek().line, p.peek())
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) isPunct(s string) bool {
+	t := p.peek()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("line %d: expected %q, got %s", p.peek().line, s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptIdent(s string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseFunc parses "[type] name(type a, type b) block" after the
+// "func" keyword has been consumed.
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	t := p.peek()
+	fn := &FuncDecl{Line: t.line}
+	if t.kind == tokIdent && (t.text == "int" || t.text == "float") {
+		p.pos++
+		fn.HasRet = true
+		if t.text == "float" {
+			fn.RetType = TFloat
+		}
+	}
+	name := p.next()
+	if name.kind != tokIdent || isReserved(name.text) {
+		return nil, fmt.Errorf("line %d: bad function name %s", name.line, name)
+	}
+	fn.Name = name.text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		pt := p.next()
+		if pt.kind != tokIdent || (pt.text != "int" && pt.text != "float") {
+			return nil, fmt.Errorf("line %d: expected parameter type, got %s", pt.line, pt)
+		}
+		pn := p.next()
+		if pn.kind != tokIdent || isReserved(pn.text) {
+			return nil, fmt.Errorf("line %d: bad parameter name %s", pn.line, pn)
+		}
+		d := &VarDecl{Name: pn.text, Line: pn.line}
+		if pt.text == "float" {
+			d.Type = TFloat
+		}
+		fn.Params = append(fn.Params, d)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseDecl parses "type ident [n] [= expr]" (the type keyword is next).
+func (p *parser) parseDecl() (*VarDecl, error) {
+	t := p.next() // int | float
+	d := &VarDecl{Line: t.line}
+	if t.text == "float" {
+		d.Type = TFloat
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected identifier, got %s", name.line, name)
+	}
+	if isReserved(name.text) {
+		return nil, fmt.Errorf("line %d: %q is reserved", name.line, name.text)
+	}
+	d.Name = name.text
+	if p.acceptPunct("[") {
+		sz := p.next()
+		if sz.kind != tokInt || sz.ival <= 0 {
+			return nil, fmt.Errorf("line %d: array size must be a positive integer literal", sz.line)
+		}
+		d.ArrayLen = int(sz.ival)
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptPunct("=") {
+		if d.ArrayLen > 0 {
+			return nil, fmt.Errorf("line %d: array initializers are not supported", d.Line)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func isReserved(s string) bool {
+	switch s {
+	case "int", "float", "if", "else", "while", "for", "spawn", "main", "ps",
+		"func", "return", "break", "continue":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.acceptPunct("}") {
+		if p.peek().kind == tokEOF {
+			return nil, fmt.Errorf("unexpected end of input inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && (t.text == "int" || t.text == "float"):
+		// Could be a declaration or a cast expression statement; a
+		// declaration has an identifier right after the type.
+		if p.toks[p.pos+1].kind == tokIdent {
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &DeclStmt{Decl: d}, nil
+		}
+	case t.kind == tokIdent && t.text == "if":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.acceptIdent("else") {
+			if p.isPunct("{") {
+				if st.Else, err = p.parseBlock(); err != nil {
+					return nil, err
+				}
+			} else if p.peek().kind == tokIdent && p.peek().text == "if" {
+				nested, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = []Stmt{nested}
+			} else {
+				return nil, fmt.Errorf("line %d: expected block or 'if' after else", p.peek().line)
+			}
+		}
+		return st, nil
+	case t.kind == tokIdent && t.text == "while":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case t.kind == tokIdent && t.text == "break":
+		p.pos++
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case t.kind == tokIdent && t.text == "continue":
+		p.pos++
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case t.kind == tokIdent && t.text == "return":
+		p.pos++
+		if p.acceptPunct(";") {
+			return &ReturnStmt{Line: t.line}, nil
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: t.line}, nil
+	case t.kind == tokIdent && t.text == "for":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		init, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		step, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: { init; while (cond) { body } step-before-back-edge }
+		return &BlockStmt{Stmts: []Stmt{
+			init,
+			&WhileStmt{Cond: cond, Body: body, Step: step, Line: t.line},
+		}}, nil
+	case t.kind == tokIdent && t.text == "spawn":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		count, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Count: count, Body: body, Line: t.line}, nil
+	}
+
+	// Expression or assignment statement.
+	st, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseSimpleStmt parses a declaration, (compound) assignment or
+// expression without the trailing semicolon — the pieces a for-loop
+// header is built from.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind == tokIdent && (t.text == "int" || t.text == "float") && p.toks[p.pos+1].kind == tokIdent {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	assignOp := ""
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%="} {
+		if p.isPunct(op) {
+			assignOp = op
+			p.pos++
+			break
+		}
+	}
+	if assignOp == "" {
+		return &ExprStmt{X: e, Line: t.line}, nil
+	}
+	switch e.(type) {
+	case *IdentExpr, *IndexExpr:
+	default:
+		return nil, fmt.Errorf("line %d: assignment target must be a variable or array element", t.line)
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if assignOp != "=" {
+		// Desugar x op= v into x = x op v (the target is a pure lvalue,
+		// so double evaluation is safe).
+		v = &BinaryExpr{Op: assignOp[:1], L: e, R: v, Line: t.line}
+	}
+	return &AssignStmt{Target: e, Value: v, Line: t.line}, nil
+}
+
+// Precedence climbing: levels from weakest to strongest.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.isPunct(op) {
+				line := p.next().line
+				r, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &BinaryExpr{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		return &IntLit{Val: t.ival, Line: t.line}, nil
+	case t.kind == tokFloat:
+		return &FloatLit{Val: t.fval, Line: t.line}, nil
+	case t.kind == tokDollar:
+		return &ThreadID{Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		name := t.text
+		// Builtin calls, casts and user-function calls.
+		if p.isPunct("(") {
+			p.pos++ // consume (
+			var args []Expr
+			if !p.isPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: name, Args: args, Line: t.line}, nil
+		}
+		if isReserved(name) {
+			return nil, fmt.Errorf("line %d: unexpected keyword %q in expression", t.line, name)
+		}
+		if p.acceptPunct("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Idx: idx, Line: t.line}, nil
+		}
+		return &IdentExpr{Name: name, Line: t.line}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %s in expression", t.line, t)
+}

@@ -1,0 +1,100 @@
+package xmtc
+
+import "strconv"
+
+// Canonical PRAM programs in XMTC, mirroring internal/isa's hand-written
+// assembly versions — together they let tests measure the compiler's
+// overhead against hand-tuned code on identical workloads.
+
+// VectorAddSource returns c[i] = a[i] + b[i] for i < n.
+func VectorAddSource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+int a[` + ns + `];
+int b[` + ns + `];
+int c[` + ns + `];
+main {
+  spawn (` + ns + `) {
+    c[$] = a[$] + b[$];
+  }
+}
+`
+}
+
+// SaxpySource returns y[i] = alpha*x[i] + y[i] (single precision).
+func SaxpySource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+float alpha;
+float x[` + ns + `];
+float y[` + ns + `];
+main {
+  spawn (` + ns + `) {
+    y[$] = alpha * x[$] + y[$];
+  }
+}
+`
+}
+
+// CompactSource copies the nonzero elements of a[0..n) to b, leaving
+// the count in the global scalar count.
+func CompactSource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+int a[` + ns + `];
+int b[` + ns + `];
+int count;
+main {
+  spawn (` + ns + `) {
+    int v = a[$];
+    if (v != 0) {
+      b[ps(0, 1)] = v;
+    }
+  }
+  count = ps(0, 0);
+}
+`
+}
+
+// PrefixSumSource computes inclusive prefix sums of a[0..n) into a
+// using the logarithmic doubling scan; n must be a power of two (the
+// loop bound is data-independent so every thread sees the same d).
+func PrefixSumSource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+int a[` + ns + `];
+int b[` + ns + `];
+int d = 1;
+main {
+  while (d < ` + ns + `) {
+    spawn (` + ns + `) {
+      int v = a[$];
+      if ($ >= d) { v = v + a[$ - d]; }
+      b[$] = v;
+    }
+    spawn (` + ns + `) {
+      a[$] = b[$];
+    }
+    d = d + d;
+  }
+}
+`
+}
+
+// ReduceMaxSource finds the maximum of a[0..n) by tree reduction into
+// a[0] (n a power of two).
+func ReduceMaxSource(n int) string {
+	ns := strconv.Itoa(n)
+	return `
+int a[` + ns + `];
+int stride = ` + strconv.Itoa(n/2) + `;
+main {
+  while (stride > 0) {
+    spawn (stride) {
+      a[$] = max(a[$], a[$ + stride]);
+    }
+    stride = stride / 2;
+  }
+}
+`
+}

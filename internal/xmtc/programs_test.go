@@ -1,0 +1,190 @@
+package xmtc
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmtfft/internal/isa"
+)
+
+func TestVectorAddSource(t *testing.T) {
+	const n = 200
+	c, err := Compile(VectorAddSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		a, b := c.Symbols["a"].Addr, c.Symbols["b"].Addr
+		for i := 0; i < n; i++ {
+			vm.StoreWord(a+i*4, int32(i))
+			vm.StoreWord(b+i*4, int32(100*i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Symbols["c"].Addr
+	for i := 0; i < n; i++ {
+		if got := vm.LoadWord(out + i*4); got != int32(101*i) {
+			t.Fatalf("c[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestSaxpySource(t *testing.T) {
+	const n = 64
+	c, err := Compile(SaxpySource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		vm.StoreFloat(c.Symbols["alpha"].Addr, 0.5)
+		x, y := c.Symbols["x"].Addr, c.Symbols["y"].Addr
+		for i := 0; i < n; i++ {
+			vm.StoreFloat(x+i*4, float32(i))
+			vm.StoreFloat(y+i*4, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := c.Symbols["y"].Addr
+	for i := 0; i < n; i++ {
+		if got := vm.LoadFloat(y + i*4); got != 0.5*float32(i)+1 {
+			t.Fatalf("y[%d] = %g", i, got)
+		}
+	}
+}
+
+func TestCompactSource(t *testing.T) {
+	const n = 128
+	c, err := Compile(CompactSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	vm, _, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		a := c.Symbols["a"].Addr
+		for i := 0; i < n; i++ {
+			if i%3 == 1 {
+				vm.StoreWord(a+i*4, int32(i+500))
+				want++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.LoadWord(c.Symbols["count"].Addr); got != int32(want) {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	b := c.Symbols["b"].Addr
+	seen := map[int32]bool{}
+	for i := 0; i < want; i++ {
+		v := vm.LoadWord(b + i*4)
+		if v < 500 || seen[v] {
+			t.Fatalf("b[%d] = %d invalid", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPrefixSumSource(t *testing.T) {
+	const n = 64
+	c, err := Compile(PrefixSumSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int32, n)
+	vm, _, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		a := c.Symbols["a"].Addr
+		for i := 0; i < n; i++ {
+			vals[i] = int32(rng.Intn(100))
+			vm.StoreWord(a+i*4, vals[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Symbols["a"].Addr
+	sum := int32(0)
+	for i := 0; i < n; i++ {
+		sum += vals[i]
+		if got := vm.LoadWord(a + i*4); got != sum {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got, sum)
+		}
+	}
+}
+
+func TestReduceMaxSource(t *testing.T) {
+	const n = 128
+	c, err := Compile(ReduceMaxSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	maxVal := int32(-1 << 30)
+	vm, _, err := c.Run(machine(t), 0, func(vm *isa.VM) {
+		a := c.Symbols["a"].Addr
+		for i := 0; i < n; i++ {
+			v := int32(rng.Intn(100000) - 50000)
+			if v > maxVal {
+				maxVal = v
+			}
+			vm.StoreWord(a+i*4, v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.LoadWord(c.Symbols["a"].Addr); got != maxVal {
+		t.Fatalf("max = %d, want %d", got, maxVal)
+	}
+}
+
+// Compiler overhead: compiled XMTC vector-add vs the hand-written ISA
+// version of the same workload. The compiler's naive codegen costs
+// cycles (register moves, no load grouping across address arithmetic);
+// this pins the overhead so regressions are visible.
+func TestCompilerOverheadVsHandAsm(t *testing.T) {
+	const n = 512
+	// Compiled version.
+	cc, err := Compile(VectorAddSource(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compiled, err := cc.Run(machine(t), 0, func(vm *isa.VM) {
+		a, b := cc.Symbols["a"].Addr, cc.Symbols["b"].Addr
+		for i := 0; i < n; i++ {
+			vm.StoreWord(a+i*4, int32(i))
+			vm.StoreWord(b+i*4, int32(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-written version (same memory layout as isa.VectorAddProgram).
+	prog, err := isa.Assemble(isa.VectorAddProgram(n, 0, 4096, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := machine(t)
+	vm2 := isa.NewVM(m2, prog, 16384)
+	for i := 0; i < n; i++ {
+		vm2.StoreWord(i*4, int32(i))
+		vm2.StoreWord(4096+i*4, int32(i))
+	}
+	hand, err := vm2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(compiled) / float64(hand)
+	t.Logf("vector add %d: compiled %d cycles vs hand asm %d cycles (%.2fx)", n, compiled, hand, ratio)
+	if ratio > 3.0 {
+		t.Errorf("compiler overhead %.2fx exceeds 3x", ratio)
+	}
+	if ratio < 0.8 {
+		t.Errorf("compiled code implausibly faster than hand asm: %.2fx", ratio)
+	}
+}

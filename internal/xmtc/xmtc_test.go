@@ -1,0 +1,802 @@
+package xmtc
+
+import (
+	"math"
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/isa"
+	"xmtfft/internal/xmt"
+)
+
+func machine(t *testing.T) *xmt.Machine {
+	t.Helper()
+	cfg, err := config.FourK().Scaled(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func run(t *testing.T, src string, setup func(*isa.VM)) *isa.VM {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vm, _, err := c.Run(machine(t), 4096, setup)
+	if err != nil {
+		t.Fatalf("run: %v\ndisassembly:\n%s", err, c.Program.Disassemble())
+	}
+	return vm
+}
+
+// word reads global scalar sym from a finished VM.
+func word(t *testing.T, c *Compiled, vm *isa.VM, name string) int32 {
+	t.Helper()
+	sym, ok := c.Symbols[name]
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	return vm.LoadWord(sym.Addr)
+}
+
+func compileRun(t *testing.T, src string) (*Compiled, *isa.VM) {
+	t.Helper()
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vm, _, err := c.Run(machine(t), 4096, nil)
+	if err != nil {
+		t.Fatalf("run: %v\ndisassembly:\n%s", err, c.Program.Disassemble())
+	}
+	return c, vm
+}
+
+func TestSerialArithmeticAndGlobals(t *testing.T) {
+	c, vm := compileRun(t, `
+int a;
+int b = 7;
+int q; int r; int s;
+main {
+  a = 6 * b + 2;        // 44
+  q = a / 5;            // 8
+  r = a % 5;            // 4
+  s = (a << 2) ^ (a >> 1) | (b & 3);  // precedence: ((a<<2) ^ (a>>1)) | (b&3)
+}
+`)
+	if got := word(t, c, vm, "a"); got != 44 {
+		t.Errorf("a = %d, want 44", got)
+	}
+	if got := word(t, c, vm, "q"); got != 8 {
+		t.Errorf("q = %d", got)
+	}
+	if got := word(t, c, vm, "r"); got != 4 {
+		t.Errorf("r = %d", got)
+	}
+	want := int32((44 << 2) ^ (44 >> 1) | (7 & 3))
+	if got := word(t, c, vm, "s"); got != want {
+		t.Errorf("s = %d, want %d", got, want)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	c, vm := compileRun(t, `
+float x;
+float y = 2.5;
+int truncated;
+main {
+  x = y * 4.0 - 1.5;       // 8.5
+  x = x / 2.0;             // 4.25
+  truncated = int(x);      // 4
+  x = x + float(truncated);// 8.25
+}
+`)
+	sym := c.Symbols["x"]
+	if got := vm.LoadFloat(sym.Addr); math.Abs(float64(got)-8.25) > 1e-6 {
+		t.Errorf("x = %g, want 8.25", got)
+	}
+	if got := word(t, c, vm, "truncated"); got != 4 {
+		t.Errorf("truncated = %d", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	c, vm := compileRun(t, `
+int sum;
+int fib;
+main {
+  // sum of odd numbers below 20
+  int i = 0;
+  while (i < 20) {
+    if (i % 2 == 1) { sum = sum + i; }
+    i = i + 1;
+  }
+  // if/else if/else chain
+  if (sum > 1000) { fib = 1; }
+  else if (sum == 100) { fib = 2; }
+  else { fib = 3; }
+}
+`)
+	if got := word(t, c, vm, "sum"); got != 100 {
+		t.Errorf("sum = %d, want 100", got)
+	}
+	if got := word(t, c, vm, "fib"); got != 2 {
+		t.Errorf("fib = %d, want 2", got)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	c, vm := compileRun(t, `
+int a; int b; int d; int e;
+main {
+  a = (3 && 5);
+  b = (0 || 7);
+  d = (0 && 9);
+  e = !(4 > 2) + !0;
+}
+`)
+	if word(t, c, vm, "a") != 1 || word(t, c, vm, "b") != 1 || word(t, c, vm, "d") != 0 {
+		t.Errorf("logicals wrong: %d %d %d", word(t, c, vm, "a"), word(t, c, vm, "b"), word(t, c, vm, "d"))
+	}
+	if got := word(t, c, vm, "e"); got != 1 {
+		t.Errorf("e = %d, want 1", got)
+	}
+}
+
+func TestSpawnVectorAdd(t *testing.T) {
+	c, vm := compileRun(t, `
+int a[100];
+int b[100];
+int cc[100];
+main {
+  int i = 0;
+  while (i < 100) {
+    a[i] = i;
+    b[i] = 10 * i;
+    i = i + 1;
+  }
+  spawn (100) {
+    cc[$] = a[$] + b[$];
+  }
+}
+`)
+	base := c.Symbols["cc"].Addr
+	for i := 0; i < 100; i++ {
+		if got := vm.LoadWord(base + i*4); got != int32(11*i) {
+			t.Fatalf("cc[%d] = %d, want %d", i, got, 11*i)
+		}
+	}
+}
+
+func TestSpawnWithPS(t *testing.T) {
+	// Compaction in XMTC, the paper's canonical idiom.
+	c, vm := compileRun(t, `
+int a[64];
+int b[64];
+int count;
+main {
+  int i = 0;
+  while (i < 64) {
+    if (i % 4 == 0) { a[i] = i + 100; }
+    i = i + 1;
+  }
+  spawn (64) {
+    if (a[$] != 0) {
+      int slot = ps(0, 1);
+      b[slot] = a[$];
+    }
+  }
+  count = ps(0, 0);
+}
+`)
+	if got := word(t, c, vm, "count"); got != 16 {
+		t.Fatalf("count = %d, want 16", got)
+	}
+	base := c.Symbols["b"].Addr
+	seen := map[int32]bool{}
+	for i := 0; i < 16; i++ {
+		v := vm.LoadWord(base + i*4)
+		if (v-100)%4 != 0 || seen[v] {
+			t.Fatalf("b[%d] = %d invalid", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestThreadLocalsAndConditionals(t *testing.T) {
+	c, vm := compileRun(t, `
+int out[32];
+main {
+  spawn (32) {
+    int v = $ * 3;
+    int acc = 0;
+    while (v > 0) {
+      acc = acc + v;
+      v = v - 3;
+    }
+    out[$] = acc;   // 3 * (1 + 2 + ... + $) = 3 * $($+1)/2
+  }
+}
+`)
+	base := c.Symbols["out"].Addr
+	for i := 0; i < 32; i++ {
+		want := int32(3 * i * (i + 1) / 2)
+		if got := vm.LoadWord(base + i*4); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFloatSpawnSaxpy(t *testing.T) {
+	c, vm := compileRun(t, `
+float x[50];
+float y[50];
+float alpha = 1.5;
+main {
+  int i = 0;
+  while (i < 50) {
+    x[i] = float(i);
+    y[i] = float(2 * i);
+    i = i + 1;
+  }
+  spawn (50) {
+    y[$] = alpha * x[$] + y[$];
+  }
+}
+`)
+	base := c.Symbols["y"].Addr
+	for i := 0; i < 50; i++ {
+		want := 1.5*float32(i) + 2*float32(i)
+		if got := vm.LoadFloat(base + i*4); got != want {
+			t.Fatalf("y[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	c, vm := compileRun(t, `
+int a = -42;
+float f = -2.5;
+main { }
+`)
+	if got := word(t, c, vm, "a"); got != -42 {
+		t.Errorf("a = %d", got)
+	}
+	if got := vm.LoadFloat(c.Symbols["f"].Addr); got != -2.5 {
+		t.Errorf("f = %g", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":        `main { x = 1; }`,
+		"undefined array":      `main { x[0] = 1; }`,
+		"dup global":           "int a; int a;\nmain { }",
+		"dup local":            `main { int a; int a; }`,
+		"mixed types":          "float f;\nmain { f = 1 + 2.0; }",
+		"float comparison":     "float f;\nmain { if (f < 1.0) { } }",
+		"float modulo":         "float f;\nmain { f = 2.0 % 1.0; }",
+		"assign int to float":  "float f;\nmain { f = 3; }",
+		"array without index":  "int a[4];\nmain { a = 1; }",
+		"index scalar":         "int a;\nmain { a[0] = 1; }",
+		"nested spawn":         `main { spawn (2) { spawn (2) { } } }`,
+		"dollar in serial":     `main { int x = $; }`,
+		"ps bad counter":       `main { int x = ps(9, 1); }`,
+		"ps nonliteral":        `main { int k; int x = ps(k, 1); }`,
+		"local array":          `main { int a[4]; }`,
+		"array initializer":    "int a[4] = 3;\nmain { }",
+		"global init non-lit":  "int a = 1 + 2;\nmain { }",
+		"reserved name":        "int spawn;\nmain { }",
+		"missing main":         `int a;`,
+		"trailing tokens":      `main { } int b;`,
+		"bad assignment":       `main { 1 = 2; }`,
+		"unterminated comment": "main { } /* oops",
+		"bad char":             "main { @ }",
+		"float spawn count":    `main { spawn (1.5) { } }`,
+		"float condition":      `main { if (1.5) { } }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestExpressionDepthLimit(t *testing.T) {
+	// Build an expression nested beyond the register stack. It must
+	// reference a variable so constant folding cannot collapse it.
+	src := "int a;\nmain { a = 1; a = "
+	for i := 0; i < 20; i++ {
+		src += "a + ("
+	}
+	src += "a"
+	for i := 0; i < 20; i++ {
+		src += ")"
+	}
+	src += "; }"
+	if _, err := Compile(src); err == nil {
+		t.Error("deep expression compiled; want depth error")
+	}
+	// The same shape with constants folds to one instruction and is fine.
+	src2 := "int a;\nmain { a = "
+	for i := 0; i < 20; i++ {
+		src2 += "1 + ("
+	}
+	src2 += "1"
+	for i := 0; i < 20; i++ {
+		src2 += ")"
+	}
+	src2 += "; }"
+	if _, err := Compile(src2); err != nil {
+		t.Errorf("constant-folded deep expression failed: %v", err)
+	}
+}
+
+func TestTooManyLocals(t *testing.T) {
+	src := "main {\n"
+	for i := 0; i < 16; i++ {
+		src += "  int v" + string(rune('a'+i)) + ";\n"
+	}
+	src += "}"
+	if _, err := Compile(src); err == nil {
+		t.Error("16 locals compiled; want register-pressure error")
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	_, vm := compileRun(t, `
+// leading comment
+int a; /* inline */ int b;
+main {
+  a = 1; // trailing
+  /* block
+     spanning lines */
+  b = 2;
+}
+`)
+	_ = vm
+}
+
+func TestRunTiming(t *testing.T) {
+	// More threads must consume more cycles.
+	timeFor := func(n string) uint64 {
+		c, err := Compile(`
+int out[4096];
+main {
+  spawn (` + n + `) {
+    out[$] = $ * $;
+  }
+}
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cycles, err := c.Run(machine(t), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	if small, large := timeFor("64"), timeFor("4096"); large <= small {
+		t.Errorf("4096 threads (%d cycles) not slower than 64 (%d)", large, small)
+	}
+}
+
+func TestForLoopsAndCompoundAssign(t *testing.T) {
+	c, vm := compileRun(t, `
+int total;
+int arr[32];
+int prod;
+main {
+  for (int i = 0; i < 32; i += 1) {
+    arr[i] = i;
+    total += i;
+  }
+  prod = 1;
+  for (int k = 1; k <= 5; k += 1) { prod *= k; }
+  prod -= 20;   // 100
+  prod /= 4;    // 25
+  prod %= 7;    // 4
+}
+`)
+	if got := word(t, c, vm, "total"); got != 496 {
+		t.Errorf("total = %d, want 496", got)
+	}
+	if got := word(t, c, vm, "prod"); got != 4 {
+		t.Errorf("prod = %d, want 4", got)
+	}
+	base := c.Symbols["arr"].Addr
+	for i := 0; i < 32; i++ {
+		if vm.LoadWord(base+i*4) != int32(i) {
+			t.Fatalf("arr[%d] wrong", i)
+		}
+	}
+}
+
+func TestForLoopScoping(t *testing.T) {
+	// The loop variable is scoped to the loop: redeclaring the same name
+	// in two loops must compile (registers are still consumed per
+	// declaration, which is fine at this size).
+	_, vm := compileRun(t, `
+int a;
+main {
+  for (int i = 0; i < 3; i += 1) { a += 1; }
+  for (int i = 0; i < 4; i += 1) { a += 1; }
+}
+`)
+	_ = vm
+}
+
+func TestForInSpawnBody(t *testing.T) {
+	c, vm := compileRun(t, `
+int out[16];
+main {
+  spawn (16) {
+    int acc = 0;
+    for (int i = 0; i <= $; i += 1) { acc += i; }
+    out[$] = acc;
+  }
+}
+`)
+	base := c.Symbols["out"].Addr
+	for i := 0; i < 16; i++ {
+		want := int32(i * (i + 1) / 2)
+		if got := vm.LoadWord(base + i*4); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCompoundAssignOnArrayElement(t *testing.T) {
+	c, vm := compileRun(t, `
+int a[4];
+main {
+  a[2] = 10;
+  a[2] += 5;
+  a[2] *= 2;
+}
+`)
+	if got := vm.LoadWord(c.Symbols["a"].Addr + 8); got != 30 {
+		t.Errorf("a[2] = %d, want 30", got)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	c, vm := compileRun(t, `
+int r1v; int r2v; int r3v;
+float fr;
+
+func int square(int x) {
+  return x * x;
+}
+
+func int clamp(int v, int lo, int hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+
+func float lerp(float a, float b, float t) {
+  return a + (b - a) * t;
+}
+
+func bump(int k) {
+  ps(0, k);
+}
+
+main {
+  r1v = square(7);                 // 49
+  r2v = clamp(square(4), 3, 10);   // 10
+  r3v = clamp(5, 3, 10) + square(2); // 9
+  fr = lerp(2.0, 4.0, 0.25);       // 2.5
+  bump(3);
+  bump(4);
+  r3v = r3v + ps(0, 0);            // 9 + 7 = 16
+}
+`)
+	if got := word(t, c, vm, "r1v"); got != 49 {
+		t.Errorf("square(7) = %d", got)
+	}
+	if got := word(t, c, vm, "r2v"); got != 10 {
+		t.Errorf("clamp = %d", got)
+	}
+	if got := word(t, c, vm, "r3v"); got != 16 {
+		t.Errorf("r3v = %d", got)
+	}
+	if got := vm.LoadFloat(c.Symbols["fr"].Addr); got != 2.5 {
+		t.Errorf("lerp = %g", got)
+	}
+}
+
+func TestFunctionsInThreads(t *testing.T) {
+	c, vm := compileRun(t, `
+int out[64];
+
+func int triangle(int n) {
+  int acc = 0;
+  for (int i = 1; i <= n; i += 1) { acc += i; }
+  return acc;
+}
+
+main {
+  spawn (64) {
+    out[$] = triangle($);
+  }
+}
+`)
+	base := c.Symbols["out"].Addr
+	for i := 0; i < 64; i++ {
+		want := int32(i * (i + 1) / 2)
+		if got := vm.LoadWord(base + i*4); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFunctionsNested(t *testing.T) {
+	c, vm := compileRun(t, `
+int res;
+
+func int double(int x) { return x + x; }
+func int quad(int x) { return double(double(x)); }
+
+main {
+  res = quad(5);  // 20
+}
+`)
+	if got := word(t, c, vm, "res"); got != 20 {
+		t.Errorf("quad(5) = %d", got)
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	cases := map[string]string{
+		"recursion":        "func int f(int x) { return f(x); }\nmain { int a = f(1); }",
+		"mutual recursion": "func int f(int x) { return g(x); }\nfunc int g(int x) { return f(x); }\nmain { int a = f(1); }",
+		"wrong arity":      "func int f(int x) { return x; }\nmain { int a = f(1, 2); }",
+		"wrong arg type":   "func int f(int x) { return x; }\nmain { int a = f(1.5); }",
+		"wrong ret type":   "func int f(int x) { return 1.5; }\nmain { int a = f(1); }",
+		"void as value":    "func f(int x) { }\nmain { int a = f(1); }",
+		"value from void":  "func f(int x) { return 3; }\nmain { f(1); }",
+		"return in main":   "main { return; }",
+		"bare ret typed":   "func int f(int x) { return; }\nmain { int a = f(1); }",
+		"dup function":     "func f() { }\nfunc f() { }\nmain { }",
+		"unknown call":     "main { int a = nosuch(1); }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+	// Acyclic nesting across declaration order is fine — only cycles are
+	// rejected. Verify a genuine forward reference:
+	if _, err := Compile("func int f(int x) { return g(x) + 1; }\nfunc int g(int x) { return x; }\nmain { int a = f(1); }"); err != nil {
+		t.Errorf("forward reference failed: %v", err)
+	}
+}
+
+func TestScopeRegisterRecycling(t *testing.T) {
+	// Many sequential blocks each declaring locals must compile: the
+	// register watermark is restored at scope exit.
+	src := "int total;\nmain {\n"
+	for i := 0; i < 30; i++ {
+		src += "  for (int i = 0; i < 2; i += 1) { int a = i; int b = a + 1; total += b; }\n"
+	}
+	src += "}"
+	c, vm := compileRun(t, src)
+	if got := word(t, c, vm, "total"); got != 30*3 {
+		t.Errorf("total = %d, want 90", got)
+	}
+}
+
+func TestFunctionFallthroughReturnsZero(t *testing.T) {
+	c, vm := compileRun(t, `
+int a;
+func int maybe(int x) {
+  if (x > 10) { return x; }
+}
+main { a = maybe(3) + 7; }
+`)
+	if got := word(t, c, vm, "a"); got != 7 {
+		t.Errorf("fallthrough result = %d, want 7", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	c, vm := compileRun(t, `
+int evens; int firstBig; int loops;
+main {
+  // continue skips odds; the for step must still run.
+  for (int i = 0; i < 10; i += 1) {
+    if (i % 2 == 1) { continue; }
+    evens += i;        // 0+2+4+6+8 = 20
+  }
+  // break exits at the first value above 6.
+  int j = 0;
+  while (j < 100) {
+    loops += 1;
+    if (j > 6) { firstBig = j; break; }
+    j += 1;
+  }
+}
+`)
+	if got := word(t, c, vm, "evens"); got != 20 {
+		t.Errorf("evens = %d, want 20", got)
+	}
+	if got := word(t, c, vm, "firstBig"); got != 7 {
+		t.Errorf("firstBig = %d, want 7", got)
+	}
+	if got := word(t, c, vm, "loops"); got != 8 {
+		t.Errorf("loops = %d, want 8", got)
+	}
+}
+
+func TestBreakContinueNested(t *testing.T) {
+	c, vm := compileRun(t, `
+int count;
+main {
+  for (int i = 0; i < 5; i += 1) {
+    for (int j = 0; j < 5; j += 1) {
+      if (j == 2) { break; }      // inner break only
+      if (i == 3) { continue; }   // skip counting row 3
+      count += 1;
+    }
+  }
+}
+`)
+	// rows 0,1,2,4 count j=0,1 each = 8; row 3 counts none.
+	if got := word(t, c, vm, "count"); got != 8 {
+		t.Errorf("count = %d, want 8", got)
+	}
+}
+
+func TestBreakContinueInThreads(t *testing.T) {
+	c, vm := compileRun(t, `
+int out[32];
+main {
+  spawn (32) {
+    int acc = 0;
+    for (int i = 0; i < 100; i += 1) {
+      if (i > $) { break; }
+      if (i % 2 == 1) { continue; }
+      acc += i;
+    }
+    out[$] = acc;
+  }
+}
+`)
+	base := c.Symbols["out"].Addr
+	for tid := 0; tid < 32; tid++ {
+		want := int32(0)
+		for i := 0; i <= tid; i++ {
+			if i%2 == 0 {
+				want += int32(i)
+			}
+		}
+		if got := vm.LoadWord(base + tid*4); got != want {
+			t.Fatalf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestBreakOutsideLoopErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"break outside":    "main { break; }",
+		"continue outside": "main { continue; }",
+		"break in func":    "func f() { break; }\nmain { f(); }",
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+	// break inside a loop inside a function is fine.
+	if _, err := Compile("func int f() { for (int i = 0; i < 9; i += 1) { if (i == 3) { break; } } return 1; }\nmain { int a = f(); }"); err != nil {
+		t.Errorf("loop-in-function break failed: %v", err)
+	}
+}
+
+func TestBreakDoesNotCrossFunctionBoundary(t *testing.T) {
+	// A function with a stray break called from inside a loop must be a
+	// compile error, not a break of the caller's loop.
+	src := "func f() { break; }\nmain { for (int i = 0; i < 3; i += 1) { f(); } }"
+	if _, err := Compile(src); err == nil {
+		t.Fatal("break inside inlined function escaped to caller's loop")
+	}
+}
+
+func TestPrelude(t *testing.T) {
+	c, vm := compileRun(t, `
+int a; int b; int d; int e;
+main {
+  a = min(3, -7);
+  b = max(3, -7);
+  d = abs(-12);
+  e = clamp(99, 0, 10);
+}
+`)
+	if word(t, c, vm, "a") != -7 || word(t, c, vm, "b") != 3 {
+		t.Errorf("min/max wrong: %d %d", word(t, c, vm, "a"), word(t, c, vm, "b"))
+	}
+	if word(t, c, vm, "d") != 12 || word(t, c, vm, "e") != 10 {
+		t.Errorf("abs/clamp wrong: %d %d", word(t, c, vm, "d"), word(t, c, vm, "e"))
+	}
+}
+
+func TestPreludeShadowing(t *testing.T) {
+	// A user definition of min overrides the prelude.
+	c, vm := compileRun(t, `
+int a;
+func int min(int x, int y) { return 42; }
+main { a = min(1, 2); }
+`)
+	if got := word(t, c, vm, "a"); got != 42 {
+		t.Errorf("shadowed min = %d, want 42", got)
+	}
+	// Duplicate user functions still error.
+	if _, err := Compile("func f() { }\nfunc f() { }\nmain { }"); err == nil {
+		t.Error("duplicate user function accepted")
+	}
+}
+
+func TestPreludeInThreads(t *testing.T) {
+	c, vm := compileRun(t, `
+int out[32];
+main {
+  spawn (32) {
+    out[$] = clamp($ * 3 - 20, 0, 50);
+  }
+}
+`)
+	base := c.Symbols["out"].Addr
+	for i := 0; i < 32; i++ {
+		want := i*3 - 20
+		if want < 0 {
+			want = 0
+		}
+		if want > 50 {
+			want = 50
+		}
+		if got := vm.LoadWord(base + i*4); got != int32(want) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// A constant expression compiles to a single li; results unchanged.
+	c1, err := Compile("int a;\nmain { a = 2 * 3 + (10 >> 1) - -4; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile("int a;\nmain { a = 15; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Program.Instrs) != len(c2.Program.Instrs) {
+		t.Errorf("folded program has %d instrs, literal has %d:\n%s",
+			len(c1.Program.Instrs), len(c2.Program.Instrs), c1.Program.Disassemble())
+	}
+	_, vm := compileRun(t, "int a;\nmain { a = 2 * 3 + (10 >> 1) - -4; }")
+	_ = vm
+	c, vm2 := compileRun(t, `
+int a; int b;
+main {
+  a = 6 * 7;            // folded
+  int x = 5;
+  b = x * 7;            // not foldable (x is a variable)
+}
+`)
+	if word(t, c, vm2, "a") != 42 || word(t, c, vm2, "b") != 35 {
+		t.Errorf("folding changed semantics: a=%d b=%d", word(t, c, vm2, "a"), word(t, c, vm2, "b"))
+	}
+	// Division by a constant zero is left to runtime (still an error).
+	if _, err := Compile("int a;\nmain { a = 1 / 0; }"); err != nil {
+		t.Errorf("const 1/0 should compile (runtime error), got compile error: %v", err)
+	}
+}
