@@ -22,6 +22,7 @@ import (
 	"xmtfft/internal/model"
 	"xmtfft/internal/spectral"
 	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
 	"xmtfft/internal/xmt"
 	"xmtfft/internal/xmtc"
 )
@@ -104,6 +105,48 @@ func BenchmarkXMTSim3D_4kScaled1024_32(b *testing.B) {
 func BenchmarkXMTSim3D_64kScaled1024_32(b *testing.B) {
 	benchDetailedSim(b, config.SixtyFourK(), 1024, 32)
 }
+
+// --- Tracing overhead guard ---------------------------------------------
+//
+// The pair below is the ≤2% contract of internal/trace: with no recorder
+// attached every emission site is a nil check, so TracingOff must match
+// the plain simulation benchmarks, and TracingOn bounds the cost of full
+// event recording + epoch sampling.
+
+func benchTracedSim(b *testing.B, epoch uint64) {
+	cfg, err := config.FourK().Scaled(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 16
+	rng := rand.New(rand.NewSource(1))
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		m, err := xmt.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if epoch > 0 {
+			m.AttachRecorder(trace.NewRecorder(epoch))
+		}
+		tr, err := core.New3D(m, n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range tr.Data {
+			tr.Data[j] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		}
+		run, err := tr.Run(fft.Forward)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = run.TotalCycles()
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkXMTSimTracingOff_16(b *testing.B) { benchTracedSim(b, 0) }
+func BenchmarkXMTSimTracingOn_16(b *testing.B)  { benchTracedSim(b, 256) }
 
 // --- Host FFT library micro-benchmarks ----------------------------------
 

@@ -1,6 +1,7 @@
 // Command figures regenerates every figure artifact into a directory:
-// the Fig. 3 roofline SVG, the strong-scaling chart, and a phase
-// timeline from a detailed simulation.
+// the Fig. 3 roofline SVG, the strong-scaling chart, a phase timeline
+// from a detailed simulation, and a utilization heat strip sampled from
+// the same traced run.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 	"xmtfft/internal/core"
 	"xmtfft/internal/fft"
 	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
 	"xmtfft/internal/viz"
 	"xmtfft/internal/xmt"
 )
@@ -26,7 +28,12 @@ func main() {
 	out := flag.String("out", "figures", "output directory")
 	tcus := flag.Int("tcus", 512, "machine size for the detailed timeline run")
 	n := flag.Int("n", 16, "cube size for the detailed timeline run")
+	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for the heat strip")
 	flag.Parse()
+
+	if *traceEpoch == 0 {
+		fatal(fmt.Errorf("-trace-epoch must be positive"))
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -53,27 +60,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	run, err := newMachineRun(cfg, *n)
+	run, rec, err := newMachineRun(cfg, *n, *traceEpoch)
 	if err != nil {
 		fatal(err)
 	}
 	write("phase-timeline.svg", func(f *os.File) error { return viz.TimelineSVG(f, run) })
+	write("utilization.svg", func(f *os.File) error {
+		return viz.UtilizationSVG(f, cfg.Name, rec.Epoch, rec.Samples)
+	})
+	write("trace.json", func(f *os.File) error { return rec.WritePerfetto(f) })
 }
 
-func newMachineRun(cfg config.Config, n int) (run stats.Run, err error) {
+func newMachineRun(cfg config.Config, n int, epoch uint64) (run stats.Run, rec *trace.Recorder, err error) {
 	machine, err := xmt.New(cfg)
 	if err != nil {
-		return run, err
+		return run, nil, err
 	}
+	rec = trace.NewRecorder(epoch)
+	rec.Label = cfg.Name
+	machine.AttachRecorder(rec)
 	tr, err := core.New3D(machine, n, n, n)
 	if err != nil {
-		return run, err
+		return run, nil, err
 	}
 	rng := rand.New(rand.NewSource(1))
 	for i := range tr.Data {
 		tr.Data[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
 	}
-	return tr.Run(fft.Forward)
+	run, err = tr.Run(fft.Forward)
+	return run, rec, err
 }
 
 func fatal(err error) {

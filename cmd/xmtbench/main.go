@@ -2,10 +2,15 @@
 // detailed simulator and prints them as one table: radix (2/4/8),
 // granularity (fine vs coarse), and the prefetcher enhancement.
 //
+// With -trace (and/or -util-svg) the baseline variant additionally
+// records a cycle-level trace, exported in Chrome trace-event JSON /
+// as a utilization heat strip.
+//
 // Usage:
 //
 //	xmtbench                  # defaults: 4k scaled to 512 TCUs, 16^3
 //	xmtbench -tcus 1024 -n 32
+//	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 package main
 
 import (
@@ -14,15 +19,52 @@ import (
 	"os"
 
 	"xmtfft/internal/harness"
+	"xmtfft/internal/viz"
 )
 
 func main() {
 	tcus := flag.Int("tcus", 512, "machine size in TCUs (scaled 4k configuration)")
 	n := flag.Int("n", 16, "points per dimension (power of two)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the baseline variant to this path")
+	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for -trace / -util-svg")
+	utilSVG := flag.String("util-svg", "", "write an epoch-utilization heat-strip SVG of the baseline variant to this path")
 	flag.Parse()
 
-	if err := harness.AblationReport(os.Stdout, *tcus, *n); err != nil {
-		fmt.Fprintln(os.Stderr, "xmtbench:", err)
-		os.Exit(1)
+	epoch := uint64(0)
+	if *tracePath != "" || *utilSVG != "" {
+		if *traceEpoch == 0 {
+			fatal(fmt.Errorf("-trace-epoch must be positive"))
+		}
+		epoch = *traceEpoch
 	}
+	rec, err := harness.AblationReportTrace(os.Stdout, *tcus, *n, epoch)
+	if err != nil {
+		fatal(err)
+	}
+	if rec == nil {
+		return
+	}
+	writeFile := func(path string, f func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		if err := f(fh); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	writeFile(*tracePath, func(f *os.File) error { return rec.WritePerfetto(f) })
+	writeFile(*utilSVG, func(f *os.File) error {
+		return viz.UtilizationSVG(f, rec.Label, rec.Epoch, rec.Samples)
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtbench:", err)
+	os.Exit(1)
 }

@@ -22,6 +22,7 @@ import (
 	"xmtfft/internal/fft"
 	"xmtfft/internal/model"
 	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
 	"xmtfft/internal/viz"
 	"xmtfft/internal/xmt"
 )
@@ -38,6 +39,9 @@ func main() {
 	jsonOut := flag.String("json", "", "write the per-phase record as JSON to this path")
 	csvOut := flag.String("csv", "", "write the per-phase record as CSV to this path")
 	timeline := flag.String("timeline", "", "write a phase-timeline SVG to this path")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace to this path (detailed mode)")
+	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for -trace / -util-svg")
+	utilSVG := flag.String("util-svg", "", "write an epoch-utilization heat-strip SVG to this path (detailed mode)")
 	flag.Parse()
 
 	cfg, err := config.ByName(*cfgName)
@@ -46,6 +50,9 @@ func main() {
 	}
 
 	if *useModel {
+		if *tracePath != "" || *utilSVG != "" {
+			fatal(fmt.Errorf("-trace and -util-svg require detailed simulation (drop -model)"))
+		}
 		if *dims != 3 {
 			fatal(fmt.Errorf("the analytic model covers 3D transforms"))
 		}
@@ -70,6 +77,15 @@ func main() {
 	m, err := xmt.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" || *utilSVG != "" {
+		if *traceEpoch == 0 {
+			fatal(fmt.Errorf("-trace-epoch must be positive"))
+		}
+		rec = trace.NewRecorder(*traceEpoch)
+		rec.Label = cfg.Name
+		m.AttachRecorder(rec)
 	}
 	var tr *core.Transform
 	switch *dims {
@@ -119,6 +135,11 @@ func main() {
 	fmt.Printf("  utilization: FPU %.0f%%, LSU %.0f%%, DRAM %.0f%%\n", util.FPU*100, util.LSU*100, util.DRAM*100)
 	if *verbose {
 		fmt.Print(run.String())
+		if rec != nil {
+			if err := rec.WriteSummary(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	writeFile := func(path string, f func(*os.File) error) {
 		if path == "" {
@@ -137,6 +158,12 @@ func main() {
 	writeFile(*jsonOut, func(f *os.File) error { return run.WriteJSON(f) })
 	writeFile(*csvOut, func(f *os.File) error { return run.WriteCSV(f) })
 	writeFile(*timeline, func(f *os.File) error { return viz.TimelineSVG(f, run) })
+	if rec != nil {
+		writeFile(*tracePath, func(f *os.File) error { return rec.WritePerfetto(f) })
+		writeFile(*utilSVG, func(f *os.File) error {
+			return viz.UtilizationSVG(f, cfg.Name, rec.Epoch, rec.Samples)
+		})
+	}
 }
 
 func fatal(err error) {

@@ -69,19 +69,23 @@ func (t *Transform) RunCoarse(dir fft.Direction) (stats.Run, error) {
 		}
 		table := newTwiddleTable(n, int(dir), t.twBase, t.m.Config().MemModules)
 
+		name := fmt.Sprintf("twiddle init r%d", round)
+		t.m.Section(name)
 		res, err := t.initTwiddle(table)
 		if err != nil {
 			return run, err
 		}
 		run.Phases = append(run.Phases, stats.Phase{
-			Name: fmt.Sprintf("twiddle init r%d", round), Cycles: res.Cycles(), Ops: res.Ops})
+			Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
 
+		name = fmt.Sprintf("coarse round r%d", round)
+		t.m.Section(name)
 		res, err = t.coarseRound(cur, nxt, curBase, nxtBase, dims, radices, table, dirIm)
 		if err != nil {
 			return run, err
 		}
 		run.Phases = append(run.Phases, stats.Phase{
-			Name: fmt.Sprintf("coarse round r%d", round), Cycles: res.Cycles(), Ops: res.Ops})
+			Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
 
 		// coarseRound always leaves the round's output in nxt.
 		cur, nxt = nxt, cur

@@ -135,33 +135,39 @@ func (t *Transform) Run(dir fft.Direction) (stats.Run, error) {
 		}
 		table := newTwiddleTable(n, int(dir), t.twBase, t.m.Config().MemModules)
 
+		name := fmt.Sprintf("twiddle init r%d", round)
+		t.m.Section(name)
 		res, err := t.initTwiddle(table)
 		if err != nil {
 			return run, err
 		}
 		run.Phases = append(run.Phases, stats.Phase{
-			Name: fmt.Sprintf("twiddle init r%d", round), Cycles: res.Cycles(), Ops: res.Ops})
+			Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
 
 		s := 1
 		for p, r := range radices {
 			last := p == len(radices)-1 && !t.batch
-			res, err := t.fftPass(cur, nxt, curBase, nxtBase, dims, s, r, last, table, dirIm)
-			if err != nil {
-				return run, err
-			}
 			name := fmt.Sprintf("fft r%d p%d", round, p)
 			if last {
 				name = fmt.Sprintf("rotate r%d", round)
 			}
-			run.Phases = append(run.Phases, stats.Phase{Name: name, Cycles: res.Cycles(), Ops: res.Ops})
+			t.m.Section(name)
+			res, err := t.fftPass(cur, nxt, curBase, nxtBase, dims, s, r, last, table, dirIm)
+			if err != nil {
+				return run, err
+			}
+			run.Phases = append(run.Phases, stats.Phase{
+				Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
 
 			if p < len(radices)-1 {
+				name := fmt.Sprintf("twiddle decay r%d p%d", round, p)
+				t.m.Section(name)
 				res, err := t.decayTwiddle(table, s*r)
 				if err != nil {
 					return run, err
 				}
 				run.Phases = append(run.Phases, stats.Phase{
-					Name: fmt.Sprintf("twiddle decay r%d p%d", round, p), Cycles: res.Cycles(), Ops: res.Ops})
+					Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
 			}
 
 			s *= r

@@ -18,6 +18,7 @@ import (
 	"xmtfft/internal/model"
 	"xmtfft/internal/stats"
 	"xmtfft/internal/tech"
+	"xmtfft/internal/trace"
 	"xmtfft/internal/xmt"
 )
 
@@ -383,9 +384,20 @@ func PriorWorkComparison(w io.Writer) error {
 // simulator (radix 2/4/8, fine vs coarse granularity, prefetch) at the
 // given scaled machine size and cube size, printing one table.
 func AblationReport(w io.Writer, tcus, n int) error {
+	_, err := AblationReportTrace(w, tcus, n, 0)
+	return err
+}
+
+// AblationReportTrace is AblationReport with tracing: when epoch is
+// non-zero, the baseline ("paper") variant runs with a trace recorder
+// sampling utilization every epoch cycles, and the recorder is returned
+// for export (Perfetto JSON, utilization SVG, text summary). The other
+// variants run untraced so the table's relative timings are unaffected
+// either way — attaching a recorder never alters simulated cycles.
+func AblationReportTrace(w io.Writer, tcus, n int, epoch uint64) (*trace.Recorder, error) {
 	cfg, err := config.FourK().Scaled(tcus)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	type variant struct {
 		name     string
@@ -405,19 +417,25 @@ func AblationReport(w io.Writer, tcus, n int) error {
 	fmt.Fprintf(t, "ABLATIONS (§IV-A design choices): %d^3 FFT on %s\n", n, cfg)
 	fmt.Fprintln(t, "variant\tcycles\tGFLOPS (5NlogN)\trelative time")
 	var base uint64
-	for _, v := range variants {
+	var rec *trace.Recorder
+	for vi, v := range variants {
 		m, err := xmt.New(cfg)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		if vi == 0 && epoch > 0 {
+			rec = trace.NewRecorder(epoch)
+			rec.Label = fmt.Sprintf("%s ablation baseline", cfg.Name)
+			m.AttachRecorder(rec)
 		}
 		m.EnablePrefetch(v.prefetch)
 		tr, err := core.New3D(m, n, n, n)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if v.radix != 0 {
 			if err := tr.SetFixedRadix(v.radix); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		for i := range tr.Data {
@@ -430,7 +448,7 @@ func AblationReport(w io.Writer, tcus, n int) error {
 			run, err = tr.Run(fft.Forward)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cycles := run.TotalCycles()
 		if base == 0 {
@@ -440,7 +458,7 @@ func AblationReport(w io.Writer, tcus, n int) error {
 			stats.StandardGFLOPS(total, cycles, config.ClockGHz),
 			float64(cycles)/float64(base))
 	}
-	return t.Flush()
+	return rec, t.Flush()
 }
 
 // TableIVCSV writes the Table IV reproduction as machine-readable CSV.

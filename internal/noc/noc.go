@@ -34,13 +34,23 @@ import (
 const baseLatency = 4
 
 // Network times packet traversals from cluster src to memory module dst.
+// It is the single source of truth for packet accounting: every request
+// (Traverse) and every load reply (Reply) increments the Packets counter,
+// so consumers snapshot Packets() instead of keeping parallel tallies.
 type Network interface {
 	// Traverse returns the arrival cycle at dst for a packet injected at
 	// cycle t. Implementations record contention internally.
 	Traverse(t uint64, src, dst int) uint64
+	// Reply returns the arrival cycle back at the requesting cluster for
+	// a load reply leaving the memory module at cycle t. XMT's MoT reply
+	// trees are disjoint from the request trees (§II-B), so replies see
+	// only pipeline latency, never request-path contention — but they are
+	// still packets and are counted as such.
+	Reply(t uint64) uint64
 	// Latency returns the uncontended one-way traversal latency.
 	Latency() uint64
-	// Packets returns how many packets have traversed the network.
+	// Packets returns how many packets have traversed the network
+	// (requests and replies).
 	Packets() uint64
 }
 
@@ -58,6 +68,12 @@ func NewMoT(cfg config.Config) *MoT {
 // Traverse implements Network. A MoT has a dedicated path per
 // (src, dst) pair, so traversal is pure pipeline latency.
 func (m *MoT) Traverse(t uint64, src, dst int) uint64 {
+	m.packets++
+	return t + m.latency
+}
+
+// Reply implements Network.
+func (m *MoT) Reply(t uint64) uint64 {
 	m.packets++
 	return t + m.latency
 }
@@ -145,6 +161,14 @@ func (h *Hybrid) Traverse(t uint64, src, dst int) uint64 {
 		h.DelayHist.Observe(arrive - t - h.latency)
 	}
 	return arrive
+}
+
+// Reply implements Network. The reply path reuses the hybrid's level
+// count for latency but, like the MoT's, is contention-free: memory
+// replies fan out toward clusters on the dedicated return network.
+func (h *Hybrid) Reply(t uint64) uint64 {
+	h.packets++
+	return t + h.latency
 }
 
 // Latency implements Network.

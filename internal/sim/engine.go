@@ -40,12 +40,22 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Hook observes simulation-clock advances. It fires after the engine
+// decides the new time but before the event at that time executes, so an
+// observer sees resource state exactly as of the end of the interval
+// (prev, now]. Hooks must not schedule events; they are a read-only
+// observation point used by the trace package's epoch sampler.
+type Hook interface {
+	Advance(prev, now uint64)
+}
+
 // Engine is a single-threaded discrete-event simulator clocked in cycles.
 // The zero value is ready to use.
 type Engine struct {
 	now    uint64
 	seq    uint64
 	events eventHeap
+	hook   Hook
 	// Processed counts events executed; useful for progress reporting and
 	// for bounding runaway simulations in tests.
 	Processed uint64
@@ -77,6 +87,12 @@ func (e *Engine) At(t uint64, fn func()) {
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// SetHook installs (or, with nil, removes) the clock-advance observer.
+// The hook pointer is checked on every advance, so a nil hook costs one
+// predictable branch — the basis of the tracing layer's zero-overhead-
+// when-disabled contract.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
+
 // Step executes the single next event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
@@ -84,6 +100,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(event)
+	if e.hook != nil && ev.time > e.now {
+		e.hook.Advance(e.now, ev.time)
+	}
 	e.now = ev.time
 	e.Processed++
 	ev.fn()
@@ -104,6 +123,9 @@ func (e *Engine) RunUntil(limit uint64) uint64 {
 		e.Step()
 	}
 	if e.now < limit && len(e.events) == 0 {
+		if e.hook != nil {
+			e.hook.Advance(e.now, limit)
+		}
 		e.now = limit
 	}
 	return e.now

@@ -39,6 +39,42 @@ func TestEngineOrdering(t *testing.T) {
 	}
 }
 
+type advanceLog struct {
+	intervals [][2]uint64
+}
+
+func (l *advanceLog) Advance(prev, now uint64) {
+	l.intervals = append(l.intervals, [2]uint64{prev, now})
+}
+
+func TestEngineHookSeesEveryClockAdvance(t *testing.T) {
+	e := New()
+	log := &advanceLog{}
+	e.SetHook(log)
+	e.Schedule(5, func() {})
+	e.Schedule(5, func() {}) // same cycle: no second advance
+	e.Schedule(9, func() {})
+	e.Run()
+	// RunUntil past the (empty) queue is also a clock advance.
+	e.RunUntil(20)
+	want := [][2]uint64{{0, 5}, {5, 9}, {9, 20}}
+	if len(log.intervals) != len(want) {
+		t.Fatalf("advances = %v, want %v", log.intervals, want)
+	}
+	for i, w := range want {
+		if log.intervals[i] != w {
+			t.Fatalf("advances = %v, want %v", log.intervals, want)
+		}
+	}
+	// Removing the hook stops observation.
+	e.SetHook(nil)
+	e.Schedule(3, func() {})
+	e.Run()
+	if len(log.intervals) != len(want) {
+		t.Fatalf("hook fired after removal: %v", log.intervals)
+	}
+}
+
 func TestEngineNestedScheduling(t *testing.T) {
 	e := New()
 	var fired []uint64

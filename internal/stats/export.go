@@ -19,16 +19,22 @@ type runJSON struct {
 }
 
 type phaseJSON struct {
-	Name      string  `json:"name"`
-	Cycles    uint64  `json:"cycles"`
-	FPOps     uint64  `json:"fp_ops"`
-	ALUOps    uint64  `json:"alu_ops"`
-	Loads     uint64  `json:"loads"`
-	Stores    uint64  `json:"stores"`
-	Threads   uint64  `json:"threads"`
-	DRAMBytes uint64  `json:"dram_bytes"`
-	HitRate   float64 `json:"cache_hit_rate"`
-	Intensity float64 `json:"intensity_flops_per_byte"`
+	Name       string  `json:"name"`
+	Cycles     uint64  `json:"cycles"`
+	FPOps      uint64  `json:"fp_ops"`
+	ALUOps     uint64  `json:"alu_ops"`
+	Loads      uint64  `json:"loads"`
+	Stores     uint64  `json:"stores"`
+	Threads    uint64  `json:"threads"`
+	DRAMBytes  uint64  `json:"dram_bytes"`
+	HitRate    float64 `json:"cache_hit_rate"`
+	Intensity  float64 `json:"intensity_flops_per_byte"`
+	Prefetches uint64  `json:"prefetches"`
+	RowHits    uint64  `json:"row_hits"`
+	RowMisses  uint64  `json:"row_misses"`
+	FPUUtil    float64 `json:"fpu_util"`
+	LSUUtil    float64 `json:"lsu_util"`
+	DRAMUtil   float64 `json:"dram_util"`
 }
 
 // WriteJSON serializes the run as indented JSON.
@@ -39,7 +45,9 @@ func (r Run) WriteJSON(w io.Writer) error {
 			Name: p.Name, Cycles: p.Cycles, FPOps: p.Ops.FPOps,
 			ALUOps: p.Ops.ALUOps, Loads: p.Ops.Loads, Stores: p.Ops.Stores,
 			Threads: p.Ops.Threads, DRAMBytes: p.Ops.DRAMBytes,
-			HitRate: p.Ops.HitRate(),
+			HitRate:    p.Ops.HitRate(),
+			Prefetches: p.Ops.Prefetches, RowHits: p.Ops.RowHits, RowMisses: p.Ops.RowMisses,
+			FPUUtil: p.Util.FPU, LSUUtil: p.Util.LSU, DRAMUtil: p.Util.DRAM,
 		}
 		if p.Ops.DRAMBytes > 0 {
 			pj.Intensity = p.Intensity()
@@ -56,7 +64,9 @@ func (r Run) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"phase", "cycles", "fp_ops", "alu_ops", "loads", "stores",
-		"threads", "dram_bytes", "cache_hit_rate"}); err != nil {
+		"threads", "dram_bytes", "cache_hit_rate",
+		"prefetches", "row_hits", "row_misses",
+		"fpu_util", "lsu_util", "dram_util"}); err != nil {
 		return err
 	}
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
@@ -65,6 +75,9 @@ func (r Run) WriteCSV(w io.Writer) error {
 			p.Name, u(p.Cycles), u(p.Ops.FPOps), u(p.Ops.ALUOps),
 			u(p.Ops.Loads), u(p.Ops.Stores), u(p.Ops.Threads),
 			u(p.Ops.DRAMBytes), fmt.Sprintf("%.4f", p.Ops.HitRate()),
+			u(p.Ops.Prefetches), u(p.Ops.RowHits), u(p.Ops.RowMisses),
+			fmt.Sprintf("%.4f", p.Util.FPU), fmt.Sprintf("%.4f", p.Util.LSU),
+			fmt.Sprintf("%.4f", p.Util.DRAM),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

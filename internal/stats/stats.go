@@ -25,6 +25,9 @@ type Counters struct {
 	CacheMisses uint64
 	DRAMBytes   uint64 // bytes transferred on DRAM channels
 	NoCPackets  uint64 // packets injected into the interconnect
+	Prefetches  uint64 // cache lines fetched speculatively by the prefetcher
+	RowHits     uint64 // DRAM accesses that hit an open row buffer
+	RowMisses   uint64 // DRAM accesses that had to open a row
 }
 
 // Add accumulates o into c.
@@ -40,6 +43,9 @@ func (c *Counters) Add(o Counters) {
 	c.CacheMisses += o.CacheMisses
 	c.DRAMBytes += o.DRAMBytes
 	c.NoCPackets += o.NoCPackets
+	c.Prefetches += o.Prefetches
+	c.RowHits += o.RowHits
+	c.RowMisses += o.RowMisses
 }
 
 // MemOps returns total shared-memory word operations.
@@ -54,12 +60,24 @@ func (c Counters) HitRate() float64 {
 	return float64(c.CacheHits) / float64(total)
 }
 
+// Util is the fraction of available slots used per resource over a
+// phase (0..1; the resource near 1 is the binding one). It is filled by
+// the detailed simulator from before/after snapshots and carried through
+// the JSON/CSV export so a Fig.-3-style breakdown can name the
+// bottleneck of every phase, not just its cycle count.
+type Util struct {
+	FPU  float64
+	LSU  float64
+	DRAM float64
+}
+
 // Phase is one timed region of a computation (e.g. one FFT pass, or the
 // aggregate rotation vs non-rotation split of Fig. 3).
 type Phase struct {
 	Name   string
 	Cycles uint64
 	Ops    Counters
+	Util   Util
 }
 
 // Intensity returns the phase's computational intensity in FLOPs per
@@ -113,7 +131,17 @@ func (r Run) Merged(name string, match func(Phase) bool) Phase {
 		if match(p) {
 			out.Cycles += p.Cycles
 			out.Ops.Add(p.Ops)
+			// Cycle-weighted utilization: a long bandwidth-bound pass should
+			// dominate the merged figure over a short compute-bound one.
+			out.Util.FPU += p.Util.FPU * float64(p.Cycles)
+			out.Util.LSU += p.Util.LSU * float64(p.Cycles)
+			out.Util.DRAM += p.Util.DRAM * float64(p.Cycles)
 		}
+	}
+	if out.Cycles > 0 {
+		out.Util.FPU /= float64(out.Cycles)
+		out.Util.LSU /= float64(out.Cycles)
+		out.Util.DRAM /= float64(out.Cycles)
 	}
 	return out
 }
@@ -167,6 +195,7 @@ type Histogram struct {
 	counts      map[uint64]uint64
 	total       uint64
 	sum         uint64
+	sumSq       float64
 	max         uint64
 }
 
@@ -183,6 +212,7 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[v/h.BucketWidth]++
 	h.total++
 	h.sum += v
+	h.sumSq += float64(v) * float64(v)
 	if v > h.max {
 		h.max = v
 	}
@@ -202,8 +232,23 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observed sample.
 func (h *Histogram) Max() uint64 { return h.max }
 
+// Stddev returns the population standard deviation of the samples
+// (0 when fewer than two samples have been observed).
+func (h *Histogram) Stddev() float64 {
+	if h.total < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	v := h.sumSq/float64(h.total) - mean*mean
+	if v < 0 {
+		v = 0 // guard against floating-point cancellation
+	}
+	return math.Sqrt(v)
+}
+
 // Quantile returns an upper bound on the q-quantile (0<=q<=1) using
-// bucket upper edges.
+// bucket upper edges, clamped to the largest observed sample so the
+// reported bound never exceeds anything that actually happened.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.total == 0 {
 		return 0
@@ -218,12 +263,28 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if target == 0 {
 		target = 1
 	}
+	clamp := func(edge uint64) uint64 {
+		if edge > h.max {
+			return h.max
+		}
+		return edge
+	}
 	var seen uint64
 	for _, b := range buckets {
 		seen += b.n
 		if seen >= target {
-			return (b.idx + 1) * h.BucketWidth
+			return clamp((b.idx + 1) * h.BucketWidth)
 		}
 	}
-	return (buckets[len(buckets)-1].idx + 1) * h.BucketWidth
+	return clamp((buckets[len(buckets)-1].idx + 1) * h.BucketWidth)
+}
+
+// Summary returns a one-line count/mean/p50/p95/max digest, the format
+// used by the trace package's plain-text reports.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.max)
 }

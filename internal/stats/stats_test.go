@@ -11,11 +11,15 @@ import (
 
 func TestCountersAdd(t *testing.T) {
 	a := Counters{FPOps: 1, ALUOps: 2, Loads: 3, Stores: 4, PSOps: 5, Threads: 6,
-		Spawns: 7, CacheHits: 8, CacheMisses: 9, DRAMBytes: 10, NoCPackets: 11}
+		Spawns: 7, CacheHits: 8, CacheMisses: 9, DRAMBytes: 10, NoCPackets: 11,
+		Prefetches: 12, RowHits: 13, RowMisses: 14}
 	b := a
 	a.Add(b)
 	if a.FPOps != 2 || a.NoCPackets != 22 || a.MemOps() != 14 {
 		t.Fatalf("after Add: %+v", a)
+	}
+	if a.Prefetches != 24 || a.RowHits != 26 || a.RowMisses != 28 {
+		t.Fatalf("memory counters after Add: %+v", a)
 	}
 }
 
@@ -128,14 +132,51 @@ func TestHistogramBasics(t *testing.T) {
 	if q := h.Quantile(0.5); q != 10 {
 		t.Fatalf("median bound = %d, want 10", q)
 	}
-	if q := h.Quantile(1.0); q != 100 {
-		t.Fatalf("p100 bound = %d, want 100", q)
+	// The top bucket's upper edge (100) is clamped to the largest observed
+	// sample: a reported p100 must be something that actually happened.
+	if q := h.Quantile(1.0); q != 99 {
+		t.Fatalf("p100 bound = %d, want 99", q)
 	}
 	if NewHistogram(0).BucketWidth != 1 {
 		t.Fatal("zero bucket width should default to 1")
 	}
 	if (NewHistogram(4)).Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	h := NewHistogram(1)
+	for _, v := range []uint64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	// Classic example: mean 5, population stddev exactly 2.
+	if got := h.Stddev(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("stddev = %g, want 2", got)
+	}
+	if NewHistogram(1).Stddev() != 0 {
+		t.Fatal("empty histogram stddev should be 0")
+	}
+	one := NewHistogram(1)
+	one.Observe(42)
+	if one.Stddev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []uint64{0, 5, 9, 10, 25, 99} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	for _, want := range []string{"n=6", "mean=24.7", "p50=10", "max=99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary() = %q, missing %q", s, want)
+		}
+	}
+	if NewHistogram(1).Summary() != "n=0" {
+		t.Fatalf("empty summary = %q", NewHistogram(1).Summary())
 	}
 }
 
@@ -230,5 +271,73 @@ func TestRunExportCSV(t *testing.T) {
 	}
 	if recs[0][0] != "phase" || recs[1][0] != "a" || recs[2][6] != "0" {
 		t.Errorf("unexpected CSV content: %v", recs)
+	}
+}
+
+func TestMergedUtilIsCycleWeighted(t *testing.T) {
+	r := Run{Phases: []Phase{
+		{Name: "a", Cycles: 10, Util: Util{FPU: 0.9, DRAM: 0.1}},
+		{Name: "b", Cycles: 30, Util: Util{FPU: 0.1, DRAM: 0.9}},
+	}}
+	all := r.Overall()
+	// (0.9*10 + 0.1*30)/40 = 0.3 and symmetrically 0.7 for DRAM.
+	if math.Abs(all.Util.FPU-0.3) > 1e-12 || math.Abs(all.Util.DRAM-0.7) > 1e-12 {
+		t.Fatalf("merged util = %+v", all.Util)
+	}
+	empty := Run{}.Overall()
+	if empty.Util != (Util{}) {
+		t.Fatalf("empty merge util = %+v", empty.Util)
+	}
+}
+
+func TestExportIncludesMemoryAndUtilColumns(t *testing.T) {
+	r := Run{Label: "x", Phases: []Phase{{
+		Name: "p", Cycles: 100,
+		Ops:  Counters{Prefetches: 4, RowHits: 9, RowMisses: 3},
+		Util: Util{FPU: 0.5, LSU: 0.25, DRAM: 0.75},
+	}}}
+
+	var jb strings.Builder
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(jb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	p0 := decoded["phases"].([]any)[0].(map[string]any)
+	for key, want := range map[string]float64{
+		"prefetches": 4, "row_hits": 9, "row_misses": 3,
+		"fpu_util": 0.5, "lsu_util": 0.25, "dram_util": 0.75,
+	} {
+		if got := p0[key].(float64); got != want {
+			t.Errorf("JSON %s = %v, want %v", key, got, want)
+		}
+	}
+
+	var cb strings.Builder
+	if err := r.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(cb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	header, row := recs[0], recs[1]
+	want := map[string]string{
+		"prefetches": "4", "row_hits": "9", "row_misses": "3",
+		"fpu_util": "0.5000", "lsu_util": "0.2500", "dram_util": "0.7500",
+	}
+	found := 0
+	for i, col := range header {
+		if w, ok := want[col]; ok {
+			found++
+			if row[i] != w {
+				t.Errorf("CSV %s = %q, want %q", col, row[i], w)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Errorf("CSV header %v missing expected columns", header)
 	}
 }

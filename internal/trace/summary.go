@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSummary renders a flamegraph-style plain-text digest of the
+// recording: one bar per spawn/join section scaled by its share of
+// traced cycles, followed by thread-lifetime and epoch-utilization
+// distribution summaries. Deterministic for identical recordings.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	secs := r.sections()
+	label := r.Label
+	if label == "" {
+		label = "xmt run"
+	}
+	if _, err := fmt.Fprintf(w, "trace %s: %d events, %d samples, %d sections\n",
+		label, len(r.Events), len(r.Samples), len(secs)); err != nil {
+		return err
+	}
+	if len(secs) == 0 {
+		return nil
+	}
+
+	var total, longest uint64
+	for _, s := range secs {
+		c := s.end - s.start
+		total += c
+		if c > longest {
+			longest = c
+		}
+	}
+	const barWidth = 32
+	for _, s := range secs {
+		c := s.end - s.start
+		var bar string
+		if longest > 0 {
+			bar = strings.Repeat("#", int(c*barWidth/longest))
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(c) / float64(total) * 100
+		}
+		name := s.label
+		if name == "" {
+			name = "(unnamed spawn)"
+		}
+		hitPct := 100.0
+		if s.mem > 0 {
+			hitPct = float64(s.hits) / float64(s.mem) * 100
+		}
+		if _, err := fmt.Fprintf(w, "  %-26s %10d cyc %5.1f%% |%-*s| %6d thr %9d mem %5.1f%% hit\n",
+			name, c, share, barWidth, bar, s.starts, s.mem, hitPct); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "thread lifetime (cycles): %s stddev=%.1f\n",
+		r.ThreadLife.Summary(), r.ThreadLife.Stddev()); err != nil {
+		return err
+	}
+	if len(r.Samples) > 0 {
+		if _, err := fmt.Fprintf(w, "epoch utilization (%d-cycle epochs):\n", r.Epoch); err != nil {
+			return err
+		}
+		for _, row := range []struct {
+			name string
+			h    interface{ Summary() string }
+		}{
+			{"fpu %", r.FPUHist},
+			{"lsu %", r.LSUHist},
+			{"dram %", r.DRAMHist},
+			{"cache hit %", r.HitHist},
+			{"outstanding", r.OutstandingHist},
+		} {
+			if _, err := fmt.Fprintf(w, "  %-12s %s\n", row.name, row.h.Summary()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

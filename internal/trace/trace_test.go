@@ -1,0 +1,216 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/trace"
+	"xmtfft/internal/xmt"
+)
+
+func TestRecorderEventAccessors(t *testing.T) {
+	r := trace.NewRecorder(10)
+	r.Spawn(5, 42, "phase")
+	r.ThreadStart(10, 3, 0, 7)
+	r.Segment(12, 20, 3, trace.SegFLOP)
+	r.MemAccess(13, 25, 3, 1, 0x40, false, true)
+	r.NoC(12, 13, 0, 1)
+	r.ThreadRetire(30, 3, 7)
+	r.Join(40)
+
+	if len(r.Events) != 7 {
+		t.Fatalf("events = %d, want 7", len(r.Events))
+	}
+	if r.Events[0].Kind != trace.EvSpawn || r.Events[0].Label != "phase" || r.Events[0].ID != 42 {
+		t.Fatalf("spawn event = %+v", r.Events[0])
+	}
+	mem := r.Events[3]
+	if mem.Kind != trace.EvMemAccess || mem.Flags&trace.FlagHit == 0 || mem.Flags&trace.FlagWrite != 0 {
+		t.Fatalf("mem event = %+v", mem)
+	}
+	// Thread 7 lived 30-10 = 20 cycles.
+	if r.ThreadLife.Count() != 1 || r.ThreadLife.Max() != 20 {
+		t.Fatalf("thread lifetime: count=%d max=%d", r.ThreadLife.Count(), r.ThreadLife.Max())
+	}
+}
+
+func TestSampleHistogramsClampAndRecord(t *testing.T) {
+	r := trace.NewRecorder(100)
+	r.AddSample(trace.Sample{Cycle: 100, FPU: 0.5, LSU: 0.25, DRAM: 1.7, HitRate: 0.9, Outstanding: 12})
+	r.AddSample(trace.Sample{Cycle: 200, FPU: -0.1, Outstanding: -1})
+	if len(r.Samples) != 2 {
+		t.Fatalf("samples = %d", len(r.Samples))
+	}
+	if r.DRAMHist.Max() != 100 {
+		t.Fatalf("DRAM percent not clamped to 100: max=%d", r.DRAMHist.Max())
+	}
+	if r.FPUHist.Count() != 2 || r.FPUHist.Max() != 50 {
+		t.Fatalf("FPU hist: count=%d max=%d", r.FPUHist.Count(), r.FPUHist.Max())
+	}
+	// Negative outstanding is dropped rather than wrapped.
+	if r.OutstandingHist.Count() != 1 || r.OutstandingHist.Max() != 12 {
+		t.Fatalf("outstanding hist: count=%d max=%d", r.OutstandingHist.Count(), r.OutstandingHist.Max())
+	}
+}
+
+func TestSegmentKindNames(t *testing.T) {
+	for k, want := range map[trace.SegmentKind]string{
+		trace.SegFLOP: "flop", trace.SegPS: "ps",
+		trace.SegLoad: "load", trace.SegStore: "store",
+		trace.SegmentKind(99): "seg?",
+	} {
+		if got := k.Name(); got != want {
+			t.Errorf("SegmentKind(%d).Name() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// tracedFFT runs the acceptance-criteria workload — the equivalent of
+// `xmtfft -config 4k -tcus 64 -n 16 -dims 2 -trace ...` — and returns
+// its recorder.
+func tracedFFT(t *testing.T) *trace.Recorder {
+	t.Helper()
+	cfg, err := config.FourK().Scaled(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(256)
+	rec.Label = cfg.Name
+	m.AttachRecorder(rec)
+	tr, err := core.New2D(m, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(fft.Forward); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// The acceptance round-trip: export the trace, re-parse it through the
+// validator and the schema structs, and check the lane structure.
+func TestPerfettoExportRoundTrip(t *testing.T) {
+	rec := tracedFFT(t)
+
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exporter emitted an invalid trace: %v", err)
+	}
+
+	var tr trace.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("schema round-trip failed: %v", err)
+	}
+	if tr.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+	var spawnSpans, threadSpans, counters, instants int
+	counterNames := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Pid == 1:
+			spawnSpans++
+			if ev.Name == "" || ev.Name == "spawn" {
+				t.Fatalf("machine-lane span lost its section label: %+v", ev)
+			}
+		case ev.Ph == "X" && ev.Pid == 2 && strings.HasPrefix(ev.Name, "t"):
+			threadSpans++
+		case ev.Ph == "C":
+			counters++
+			counterNames[ev.Name] = true
+		case ev.Ph == "i":
+			instants++
+		}
+	}
+	if spawnSpans == 0 {
+		t.Fatal("no spawn/join spans on the machine lane")
+	}
+	if threadSpans == 0 {
+		t.Fatal("no thread spans on the TCU lanes")
+	}
+	if instants == 0 {
+		t.Fatal("no memory/NoC instant events")
+	}
+	for _, want := range []string{"fpu util %", "dram util %", "noc pkts/epoch"} {
+		if !counterNames[want] {
+			t.Fatalf("missing counter track %q (have %v)", want, counterNames)
+		}
+	}
+	if counters == 0 {
+		t.Fatal("no counter samples exported")
+	}
+}
+
+func TestPerfettoExportDeterministic(t *testing.T) {
+	a, b := tracedFFT(t), tracedFFT(t)
+	var ba, bb bytes.Buffer
+	if err := a.WritePerfetto(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePerfetto(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("identical runs produced different trace files")
+	}
+}
+
+func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"empty events":   `{"traceEvents":[],"displayTimeUnit":"ns"}`,
+		"unnamed event":  `{"traceEvents":[{"name":"","ph":"X","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"bad phase":      `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"valueless ctr":  `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":3,"tid":0,"args":{}}],"displayTimeUnit":"ns"}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"negative dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-2,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`,
+		"bad inst scope": `{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":2,"tid":0,"s":"q"}],"displayTimeUnit":"ns"}`,
+	}
+	for name, data := range cases {
+		if err := trace.ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validator accepted malformed trace", name)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":5,"pid":1,"tid":0}],"displayTimeUnit":"ns"}`
+	if err := trace.ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("validator rejected a minimal valid trace: %v", err)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	rec := tracedFFT(t)
+	var sb strings.Builder
+	if err := rec.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"trace 4k/64:", "sections", "fft r0", "twiddle init r0",
+		"thread lifetime", "epoch utilization", "dram %", "outstanding",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Empty recorder: header only, no panic.
+	var eb strings.Builder
+	if err := trace.NewRecorder(0).WriteSummary(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.String(), "0 events") {
+		t.Errorf("empty summary = %q", eb.String())
+	}
+}

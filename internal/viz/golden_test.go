@@ -1,0 +1,148 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare checks got against testdata/<name>, rewriting the file
+// under -update.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/viz -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file; run with -update after verifying the change", name)
+	}
+}
+
+// goldenRun is a fixed, deterministic input shared by the golden tests.
+func goldenRun() stats.Run {
+	return stats.Run{Label: "golden fft2d 16x16", Phases: []stats.Phase{
+		{Name: "twiddle init r0", Cycles: 120, Ops: stats.Counters{FPOps: 600, Threads: 16},
+			Util: stats.Util{FPU: 0.15, LSU: 0.30, DRAM: 0.05}},
+		{Name: "fft r0 p0", Cycles: 900, Ops: stats.Counters{FPOps: 8000, Threads: 32},
+			Util: stats.Util{FPU: 0.55, LSU: 0.80, DRAM: 0.65}},
+		{Name: "twiddle decay r0 p0", Cycles: 80, Ops: stats.Counters{FPOps: 0, Threads: 16},
+			Util: stats.Util{FPU: 0.02, LSU: 0.40, DRAM: 0.20}},
+		{Name: "rotate r0", Cycles: 500, Ops: stats.Counters{FPOps: 4000, Threads: 32},
+			Util: stats.Util{FPU: 0.35, LSU: 0.90, DRAM: 0.85}},
+	}}
+}
+
+func goldenSamples() []trace.Sample {
+	var out []trace.Sample
+	for i := 1; i <= 12; i++ {
+		f := float64(i) / 12
+		out = append(out, trace.Sample{
+			Cycle:       uint64(i) * 128,
+			FPU:         0.2 + 0.5*f,
+			LSU:         0.9 - 0.4*f,
+			DRAM:        f,
+			HitRate:     1 - 0.3*f,
+			Outstanding: 48 - 4*i,
+			NoCPackets:  uint64(100 * i),
+		})
+	}
+	return out
+}
+
+func TestTimelineSVGGolden(t *testing.T) {
+	run := goldenRun()
+	var a, b bytes.Buffer
+	if err := TimelineSVG(&a, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := TimelineSVG(&b, run); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	wellFormed(t, out)
+	if out != b.String() {
+		t.Fatal("TimelineSVG output is not deterministic")
+	}
+	// One bar per phase: phase bars are the only white-stroked rects.
+	if got := strings.Count(out, `stroke="white"`); got != len(run.Phases) {
+		t.Errorf("phase bar count = %d, want %d", got, len(run.Phases))
+	}
+	goldenCompare(t, "timeline.svg", a.Bytes())
+}
+
+func TestUtilizationSVGGolden(t *testing.T) {
+	samples := goldenSamples()
+	var a, b bytes.Buffer
+	if err := UtilizationSVG(&a, "golden 4k/64", 128, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := UtilizationSVG(&b, "golden 4k/64", 128, samples); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	wellFormed(t, out)
+	if out != b.String() {
+		t.Fatal("UtilizationSVG output is not deterministic")
+	}
+	// Five rows x one cell per sample, plus the background rect.
+	wantCells := 5*len(samples) + 1
+	if got := strings.Count(out, "<rect"); got != wantCells {
+		t.Errorf("cell count = %d, want %d", got, wantCells)
+	}
+	for _, want := range []string{"fpu", "dram", "cache hit", "threads", "128-cycle epochs", "cycle 1536"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("utilization SVG missing %q", want)
+		}
+	}
+	goldenCompare(t, "utilization.svg", a.Bytes())
+}
+
+func TestUtilizationSVGEmptyAndDownsample(t *testing.T) {
+	if err := UtilizationSVG(&bytes.Buffer{}, "x", 64, nil); err == nil {
+		t.Error("empty sample set accepted")
+	}
+	// 1000 samples must downsample below the column cap.
+	var many []trace.Sample
+	for i := 0; i < 1000; i++ {
+		many = append(many, trace.Sample{Cycle: uint64(i), FPU: 0.5})
+	}
+	var b bytes.Buffer
+	if err := UtilizationSVG(&b, "big", 1, many); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+	if got := strings.Count(b.String(), "<rect"); got > 5*256+1 {
+		t.Errorf("downsampling failed: %d rects", got)
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	if heat(0) != "#ffffff" {
+		t.Errorf("heat(0) = %s", heat(0))
+	}
+	if heat(1) != "#a50f15" {
+		t.Errorf("heat(1) = %s", heat(1))
+	}
+	if heat(-2) != heat(0) || heat(3) != heat(1) {
+		t.Error("heat does not clamp out-of-range values")
+	}
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmtfft/internal/trace"
+)
+
+// UtilizationSVG renders epoch utilization samples as heat strips — one
+// row per resource (FPU, LSU, DRAM, cache hit rate, outstanding
+// threads), one cell per epoch, intensity proportional to the sampled
+// value. It is the time-resolved companion to TimelineSVG: the timeline
+// says where the cycles went, the heat strip says which resource was
+// saturated while they did.
+func UtilizationSVG(w io.Writer, label string, epoch uint64, samples []trace.Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("viz: no utilization samples")
+	}
+
+	// Downsample to at most maxCols columns by averaging, so long runs
+	// stay legible (and the file small).
+	const maxCols = 256
+	cols := len(samples)
+	group := 1
+	for cols > maxCols {
+		group *= 2
+		cols = (len(samples) + group - 1) / group
+	}
+
+	maxOut := 1
+	for _, s := range samples {
+		if s.Outstanding > maxOut {
+			maxOut = s.Outstanding
+		}
+	}
+	rows := []struct {
+		name string
+		val  func(s trace.Sample) float64
+	}{
+		{"fpu", func(s trace.Sample) float64 { return s.FPU }},
+		{"lsu", func(s trace.Sample) float64 { return s.LSU }},
+		{"dram", func(s trace.Sample) float64 { return s.DRAM }},
+		{"cache hit", func(s trace.Sample) float64 { return s.HitRate }},
+		{"threads", func(s trace.Sample) float64 { return float64(s.Outstanding) / float64(maxOut) }},
+	}
+
+	const width, rowH, gap, mL, mT, mR = 820, 24, 4, 90, 46, 60
+	height := mT + len(rows)*(rowH+gap) + 40
+	usable := float64(width - mL - mR)
+	cw := usable / float64(cols)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="10" y="24" font-family="sans-serif" font-size="15">%s — utilization, %d-cycle epochs</text>`+"\n",
+		esc(label), epoch)
+
+	for ri, row := range rows {
+		y := mT + ri*(rowH+gap)
+		var mean float64
+		for _, s := range samples {
+			mean += row.val(s)
+		}
+		mean /= float64(len(samples))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			mL-6, y+rowH/2+4, esc(row.name))
+		for c := 0; c < cols; c++ {
+			lo, hi := c*group, (c+1)*group
+			if hi > len(samples) {
+				hi = len(samples)
+			}
+			var v float64
+			for _, s := range samples[lo:hi] {
+				v += row.val(s)
+			}
+			v /= float64(hi - lo)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`+"\n",
+				float64(mL)+float64(c)*cw, y, cw+0.05, rowH, heat(v))
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%.0f%%</text>`+"\n",
+			width-mR+6, y+rowH/2+4, mean*100)
+	}
+
+	// Cycle axis: first and last sampled epoch.
+	axisY := mT + len(rows)*(rowH+gap) + 16
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">cycle %d</text>`+"\n",
+		mL, axisY, samples[0].Cycle)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">cycle %d</text>`+"\n",
+		width-mR, axisY, samples[len(samples)-1].Cycle)
+	fmt.Fprintln(&b, "</svg>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// heat maps a 0..1 value onto a white-to-dark-red ramp.
+func heat(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	lerp := func(a, b int) int { return a + int(v*float64(b-a)) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(255, 165), lerp(255, 15), lerp(255, 21))
+}

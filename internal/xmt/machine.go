@@ -20,6 +20,7 @@ import (
 	"xmtfft/internal/noc"
 	"xmtfft/internal/sim"
 	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
 )
 
 // Timing constants (cycles); calibration parameters documented in
@@ -60,8 +61,18 @@ type Machine struct {
 	clusters []cluster
 
 	// Counters accumulates operation counts across all parallel sections
-	// run on this machine.
+	// run on this machine. Memory-system and NoC counters (DRAMBytes,
+	// NoCPackets, Prefetches, RowHits, RowMisses) are synchronized from
+	// their owning subsystems at spawn boundaries rather than tallied
+	// here — the subsystem is the single source of truth.
 	Counters stats.Counters
+
+	// Tracing state: rec is nil unless a recorder is attached; every
+	// emission site is guarded by a nil check so the disabled path costs
+	// one predictable branch (DESIGN.md §5).
+	rec          *trace.Recorder
+	sampler      *epochSampler
+	pendingLabel string
 
 	// spawn-in-progress state
 	prog        Program
@@ -113,6 +124,35 @@ func (m *Machine) Network() noc.Network { return m.network }
 // Now returns the machine's current cycle.
 func (m *Machine) Now() uint64 { return m.engine.Now() }
 
+// AttachRecorder connects a trace recorder (nil detaches). When the
+// recorder has a non-zero Epoch, an epoch sampler is installed as the
+// engine's clock-advance hook to snapshot resource utilization every
+// Epoch cycles. Attaching or detaching never alters simulated timing:
+// the recorder only observes.
+func (m *Machine) AttachRecorder(r *trace.Recorder) {
+	m.rec = r
+	m.pendingLabel = ""
+	if r != nil && r.Epoch > 0 {
+		m.sampler = newEpochSampler(m, r)
+		m.engine.SetHook(m.sampler)
+	} else {
+		m.sampler = nil
+		m.engine.SetHook(nil)
+	}
+}
+
+// Recorder returns the attached trace recorder, or nil.
+func (m *Machine) Recorder() *trace.Recorder { return m.rec }
+
+// Section labels the next Spawn in the trace (e.g. "fft r0 p2"). It is
+// a no-op without an attached recorder, so workloads may call it
+// unconditionally.
+func (m *Machine) Section(name string) {
+	if m.rec != nil {
+		m.pendingLabel = name
+	}
+}
+
 // AdvanceSerial models serial-mode MTCU work of the given length
 // (e.g. setup between parallel sections).
 func (m *Machine) AdvanceSerial(cycles uint64) {
@@ -125,6 +165,7 @@ type SpawnResult struct {
 	End     uint64 // cycle serial mode resumed (after join)
 	Threads int
 	Ops     stats.Counters // counters for this section only
+	Util    stats.Util     // resource utilization over the section
 }
 
 // Cycles returns the section's duration.
@@ -134,6 +175,7 @@ func (r SpawnResult) Cycles() uint64 { return r.End - r.Start }
 type tcuState struct {
 	id      int
 	cluster int
+	tid     int // virtual thread currently executing
 	buf     []Op
 }
 
@@ -151,14 +193,19 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 	if m.outstanding != 0 || m.prog != nil {
 		return SpawnResult{}, fmt.Errorf("xmt: spawn while a parallel section is active")
 	}
-	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	m.syncMemCounters()
 	before := m.Counters
+	snap := m.Snapshot()
 	start := m.engine.Now()
 	m.prog = prog
 	m.totalTh = n
 	m.nextTh = 0
 	m.lastDone = 0
 	m.Counters.Spawns++
+	if m.rec != nil {
+		m.rec.Spawn(start, n, m.pendingLabel)
+		m.pendingLabel = ""
+	}
 
 	wave := m.cfg.TCUs
 	if n < wave {
@@ -183,10 +230,26 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 	m.engine.RunUntil(end)
 	m.prog = nil
 
-	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	m.syncMemCounters()
+	if m.rec != nil {
+		m.rec.Join(end)
+	}
 	ops := m.Counters
 	subtract(&ops, before)
-	return SpawnResult{Start: start, End: end, Threads: n, Ops: ops}, nil
+	u := m.UtilizationSince(snap)
+	return SpawnResult{Start: start, End: end, Threads: n, Ops: ops,
+		Util: stats.Util{FPU: u.FPU, LSU: u.LSU, DRAM: u.DRAM}}, nil
+}
+
+// syncMemCounters copies the memory system's and network's cumulative
+// tallies into Counters. Called at spawn boundaries so per-section
+// deltas (and the machine totals) always agree with the subsystems that
+// own the counts.
+func (m *Machine) syncMemCounters() {
+	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	m.Counters.NoCPackets = m.network.Packets()
+	m.Counters.Prefetches = m.memory.Prefetches
+	m.Counters.RowHits, m.Counters.RowMisses = m.memory.RowBufferStats()
 }
 
 // ExtendSpawn adds k virtual threads to the active parallel section
@@ -221,12 +284,19 @@ func subtract(c *stats.Counters, base stats.Counters) {
 	c.CacheMisses -= base.CacheMisses
 	c.DRAMBytes -= base.DRAMBytes
 	c.NoCPackets -= base.NoCPackets
+	c.Prefetches -= base.Prefetches
+	c.RowHits -= base.RowHits
+	c.RowMisses -= base.RowMisses
 }
 
 // runThread generates thread tid's ops and begins executing its first
 // segment at the current cycle.
 func (m *Machine) runThread(t *tcuState, tid int) {
 	m.Counters.Threads++
+	t.tid = tid
+	if m.rec != nil {
+		m.rec.ThreadStart(m.engine.Now(), t.id, t.cluster, tid)
+	}
 	t.buf = m.prog.Thread(tid, t.buf[:0])
 	m.execSegments(t, 0, m.engine.Now()+ThreadStartOverhead)
 }
@@ -253,17 +323,26 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 		case OpFLOP:
 			m.Counters.FPOps += uint64(op.N)
 			done := cl.fpu.GrantNLast(now, uint64(op.N)) + FPULatency
+			if m.rec != nil {
+				m.rec.Segment(now, done, t.id, trace.SegFLOP)
+			}
 			i++
 			m.schedule(t, i, done)
 			return
 		case OpPS:
 			m.Counters.PSOps++
+			if m.rec != nil {
+				m.rec.Segment(now, now+PSLatency, t.id, trace.SegPS)
+			}
 			i++
 			m.schedule(t, i, now+PSLatency)
 			return
 		case OpLoad:
-			// Gather the load group.
+			// Gather the load group. Packet counting happens inside the
+			// network (Traverse for the request, Reply for the response):
+			// the NoC is the single source of truth for NoCPackets.
 			j := i
+			start := now
 			var done uint64
 			for j < len(t.buf) && t.buf[j].Kind == OpLoad {
 				addr := t.buf[j].Addr
@@ -271,20 +350,27 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 				dst := mem.HashAddress(addr, m.cfg.MemModules)
 				arrive := m.network.Traverse(issue, t.cluster, dst)
 				res := m.memory.Access(arrive, addr, false)
-				ret := res.Done + m.network.Latency()
+				ret := m.network.Reply(res.Done)
 				if ret > done {
 					done = ret
 				}
 				m.Counters.Loads++
-				m.Counters.NoCPackets += 2
 				m.countHit(res.Hit)
+				if m.rec != nil {
+					m.rec.NoC(issue, arrive, t.cluster, dst)
+					m.rec.MemAccess(arrive, res.Done, t.id, dst, addr, false, res.Hit)
+				}
 				j++
+			}
+			if m.rec != nil {
+				m.rec.Segment(start, done, t.id, trace.SegLoad)
 			}
 			m.schedule(t, j, done)
 			return
 		case OpStore:
 			// Issue the store group without blocking the thread.
 			j := i
+			start := now
 			issue := now
 			for j < len(t.buf) && t.buf[j].Kind == OpStore {
 				addr := t.buf[j].Addr
@@ -296,11 +382,17 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 					m.lastDone = res.Done // join waits for store completion
 				}
 				m.Counters.Stores++
-				m.Counters.NoCPackets++
 				m.countHit(res.Hit)
+				if m.rec != nil {
+					m.rec.NoC(issue, arrive, t.cluster, dst)
+					m.rec.MemAccess(arrive, res.Done, t.id, dst, addr, true, res.Hit)
+				}
 				j++
 			}
 			now = issue + 1
+			if m.rec != nil {
+				m.rec.Segment(start, now, t.id, trace.SegStore)
+			}
 			i = j
 		default:
 			panic(fmt.Sprintf("xmt: unknown op kind %d", op.Kind))
@@ -331,6 +423,9 @@ func (m *Machine) schedule(t *tcuState, i int, at uint64) {
 func (m *Machine) threadDone(t *tcuState, now uint64) {
 	if now > m.lastDone {
 		m.lastDone = now
+	}
+	if m.rec != nil {
+		m.rec.ThreadRetire(now, t.id, t.tid)
 	}
 	if m.nextTh < m.totalTh {
 		tid := m.nextTh

@@ -1,0 +1,87 @@
+package xmt
+
+import "xmtfft/internal/trace"
+
+// epochSampler implements sim.Hook: every time the engine's clock
+// crosses an epoch boundary it snapshots the machine's cumulative
+// resource counters and records the epoch's utilization delta into the
+// attached recorder. Sampling happens between events (the hook fires
+// after the engine picks the next event time but before it executes),
+// so the sampler observes a consistent mid-run state without perturbing
+// the schedule.
+//
+// Granularity caveat, documented in DESIGN.md §5: resource ports book
+// grants at request time, possibly for cycles beyond the epoch boundary,
+// so an epoch's busy delta measures demand placed during the epoch
+// rather than slots consumed within it. Under heavy contention demand
+// exceeds capacity; fractions are clamped to 1, which front-loads
+// saturation into the epoch where the queue built up. The distortion
+// shrinks as the epoch grows relative to queue depth.
+type epochSampler struct {
+	m    *Machine
+	rec  *trace.Recorder
+	next uint64
+
+	prev       Snapshot
+	prevHits   uint64
+	prevMisses uint64
+}
+
+// newEpochSampler starts sampling at the next epoch boundary after the
+// machine's current cycle.
+func newEpochSampler(m *Machine, rec *trace.Recorder) *epochSampler {
+	s := &epochSampler{m: m, rec: rec, prev: m.Snapshot()}
+	s.prevHits, s.prevMisses = m.memory.Hits, m.memory.Misses
+	s.next = (m.engine.Now()/rec.Epoch + 1) * rec.Epoch
+	return s
+}
+
+// Advance implements sim.Hook.
+func (s *epochSampler) Advance(prev, now uint64) {
+	for s.next <= now {
+		s.sample(s.next)
+		s.next += s.rec.Epoch
+	}
+}
+
+func (s *epochSampler) sample(cycle uint64) {
+	m := s.m
+	cur := m.Snapshot()
+	cfg := m.cfg
+	epoch := float64(s.rec.Epoch)
+	frac := func(busy uint64, units int) float64 {
+		f := float64(busy) / (epoch * float64(units))
+		if f > 1 {
+			f = 1 // booked-ahead demand exceeding epoch capacity
+		}
+		return f
+	}
+
+	hits, misses := m.memory.Hits, m.memory.Misses
+	dh, dm := hits-s.prevHits, misses-s.prevMisses
+	hitRate := 1.0
+	if dh+dm > 0 {
+		hitRate = float64(dh) / float64(dh+dm)
+	}
+
+	// Work remaining in the active parallel section: TCUs still running a
+	// thread plus virtual thread ids not yet allocated. Zero in serial
+	// mode. This is the series that makes the thread-allocation tail
+	// (TCU starvation near a join) visible.
+	outstanding := m.outstanding
+	if m.prog != nil {
+		outstanding += m.totalTh - m.nextTh
+	}
+
+	s.rec.AddSample(trace.Sample{
+		Cycle:       cycle,
+		FPU:         frac(cur.FPUBusy-s.prev.FPUBusy, cfg.Clusters*cfg.FPUsPerCluster),
+		LSU:         frac(cur.LSUBusy-s.prev.LSUBusy, cfg.Clusters*cfg.LSUsPerCluster),
+		DRAM:        frac(cur.DRAMBusy-s.prev.DRAMBusy, cfg.DRAMChannels()),
+		HitRate:     hitRate,
+		Outstanding: outstanding,
+		NoCPackets:  cur.NoCPackets - s.prev.NoCPackets,
+	})
+	s.prev = cur
+	s.prevHits, s.prevMisses = hits, misses
+}
