@@ -292,6 +292,87 @@ func benchFFT3D(b *testing.B, n, workers int) {
 func BenchmarkFFT3DSerial_64(b *testing.B)    { benchFFT3D(b, 64, 1) }
 func BenchmarkFFT3DParallel4_64(b *testing.B) { benchFFT3D(b, 64, 4) }
 
+// Blocked vs naive fused rounds: the cache-blocking ablation. The
+// blocked kernel tiles the fused row-FFT+rotation so writes land on
+// contiguous cache lines; WithBlockSize(1) is the naive one-scattered-
+// write-per-element round it replaced. CI runs this family once per
+// push (-bench=Blocked -benchtime=1x) so the pairs cannot bit-rot.
+func benchBlockedFused3D(b *testing.B, n, workers, block int) {
+	x := make([]complex64, n*n*n)
+	for i := range x {
+		x[i] = complex(float32(i%13), float32(i%7))
+	}
+	var transform func([]complex64) error
+	if workers <= 1 {
+		p, err := fft.NewPlan3D[complex64](n, n, n, fft.WithBlockSize(block))
+		if err != nil {
+			b.Fatal(err)
+		}
+		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
+	} else {
+		p, err := fft.NewParallelPlan3D[complex64](n, n, n, workers, fft.WithBlockSize(block))
+		if err != nil {
+			b.Fatal(err)
+		}
+		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
+	}
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := transform(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFFTMetrics(b, n*n*n)
+}
+
+func BenchmarkBlockedFused3D_128(b *testing.B)      { benchBlockedFused3D(b, 128, 1, 0) }
+func BenchmarkBlockedFused3DNaive_128(b *testing.B) { benchBlockedFused3D(b, 128, 1, 1) }
+func BenchmarkBlockedFused3D_256(b *testing.B)      { benchBlockedFused3D(b, 256, 1, 0) }
+func BenchmarkBlockedFused3DNaive_256(b *testing.B) { benchBlockedFused3D(b, 256, 1, 1) }
+
+func BenchmarkBlockedFused3DParallel4_128(b *testing.B) { benchBlockedFused3D(b, 128, 4, 0) }
+func BenchmarkBlockedFused3DParallel4Naive_128(b *testing.B) {
+	benchBlockedFused3D(b, 128, 4, 1)
+}
+
+func benchBlockedFused2D(b *testing.B, d, block int) {
+	p, err := fft.NewPlan2D[complex64](d, d, fft.WithBlockSize(block))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex64, d*d)
+	for i := range x {
+		x[i] = complex(float32(i%13), float32(i%7))
+	}
+	b.SetBytes(int64(len(x) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Transform(x, fft.Forward); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFFTMetrics(b, d*d)
+}
+
+func BenchmarkBlockedFused2D_1024(b *testing.B)      { benchBlockedFused2D(b, 1024, 0) }
+func BenchmarkBlockedFused2DNaive_1024(b *testing.B) { benchBlockedFused2D(b, 1024, 1) }
+
+// Plan-cache hit cost: repeated CachedPlan3D lookups of one shape (the
+// per-call work a caching service pays instead of twiddle derivation).
+func BenchmarkBlockedPlanCacheHit_64(b *testing.B) {
+	defer fft.ResetPlanCache()
+	if _, err := fft.CachedPlan3D[complex64](64, 64, 64); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fft.CachedPlan3D[complex64](64, 64, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Rotation cost in isolation (the data-movement phase of Fig. 3).
 func BenchmarkRotate3D_64(b *testing.B) {
 	const n = 64

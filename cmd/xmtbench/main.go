@@ -6,18 +6,27 @@
 // records a cycle-level trace, exported in Chrome trace-event JSON /
 // as a utilization heat strip.
 //
+// With -host-bench the simulator ablations are skipped and the host
+// FFT (the FFTW-substitute baseline) is measured instead: the
+// cache-blocked fused transform rounds against the naive unblocked
+// rounds, serial and parallel, written as a BENCH_fft.json perf record.
+//
 // Usage:
 //
 //	xmtbench                  # defaults: 4k scaled to 512 TCUs, 16^3
 //	xmtbench -tcus 1024 -n 32
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
+//	xmtbench -host-bench BENCH_fft.json -host-n 128,256
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"xmtfft/internal/baseline"
 	"xmtfft/internal/harness"
 	"xmtfft/internal/viz"
 )
@@ -28,7 +37,18 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the baseline variant to this path")
 	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for -trace / -util-svg")
 	utilSVG := flag.String("util-svg", "", "write an epoch-utilization heat-strip SVG of the baseline variant to this path")
+	hostBench := flag.String("host-bench", "", "measure the host FFT (blocked vs naive fused rounds) and write a BENCH_fft.json perf record to this path ('-' for stdout)")
+	hostSizes := flag.String("host-n", "128,256", "comma-separated per-dimension sizes for -host-bench")
+	hostWorkers := flag.Int("host-workers", 0, "parallel worker count for -host-bench (0 = GOMAXPROCS)")
+	hostReps := flag.Int("host-reps", 1, "repetitions per -host-bench point (best run kept)")
 	flag.Parse()
+
+	if *hostBench != "" {
+		if err := runHostBench(*hostBench, *hostSizes, *hostWorkers, *hostReps); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	epoch := uint64(0)
 	if *tracePath != "" || *utilSVG != "" {
@@ -62,6 +82,43 @@ func main() {
 	writeFile(*utilSVG, func(f *os.File) error {
 		return viz.UtilizationSVG(f, rec.Label, rec.Epoch, rec.Samples)
 	})
+}
+
+// runHostBench measures the host FFT and writes the perf record.
+func runHostBench(path, sizeList string, workers, reps int) error {
+	var sizes []int
+	for _, s := range strings.Split(sizeList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -host-n entry %q: %w", s, err)
+		}
+		sizes = append(sizes, v)
+	}
+	rec, err := baseline.RunHostBench(sizes, workers, reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rec.Results {
+		fmt.Printf("%-36s %12v  %7.3f GFLOPS\n", r.Label, r.Elapsed, r.GFLOPS)
+	}
+	for _, n := range sizes {
+		if sp := rec.BlockedSpeedup(n, 1); sp > 0 {
+			fmt.Printf("%d^3 serial blocked/naive speedup: %.2fx\n", n, sp)
+		}
+	}
+	if path == "-" {
+		return rec.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.Write(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 func fatal(err error) {

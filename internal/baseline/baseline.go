@@ -137,17 +137,28 @@ func TableI() []XMTSpeedup {
 // HostResult is one measured run of this repository's Go FFT on the
 // host machine: the runnable stand-in for FFTW.
 type HostResult struct {
-	Label   string
-	N       int // points per dimension (3D)
-	Workers int
-	Elapsed time.Duration
-	GFLOPS  float64 // 5·N·log2(N) convention
+	Label   string        `json:"label"`
+	N       int           `json:"n"` // points per dimension (3D)
+	Workers int           `json:"workers"`
+	Block   int           `json:"block"` // fused-round tile edge; 1 = naive unblocked
+	Elapsed time.Duration `json:"elapsed_ns"`
+	GFLOPS  float64       `json:"gflops"` // 5·N·log2(N) convention
 }
 
 // MeasureHost3D times a single-precision n³ 3D FFT on the host with the
 // given worker count (1 = serial), repeated reps times, keeping the
-// best run (FFTW's own reporting convention).
+// best run (FFTW's own reporting convention). The cache-blocked fused
+// rounds are used at their default tile size.
 func MeasureHost3D(n, workers, reps int) (HostResult, error) {
+	return MeasureHost3DBlock(n, workers, reps, 0)
+}
+
+// MeasureHost3DBlock is MeasureHost3D with an explicit fused-round tile
+// edge (0 = default blocking, 1 = the naive unblocked round); the
+// blocked-vs-naive pair is the ablation BENCH_fft.json records. Plans
+// come from the shared fft plan cache, so repeated measurements of one
+// shape reuse the twiddle tables.
+func MeasureHost3DBlock(n, workers, reps, block int) (HostResult, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -156,33 +167,42 @@ func MeasureHost3D(n, workers, reps int) (HostResult, error) {
 	for i := range data {
 		data[i] = complex(float32(i%17)-8, float32(i%11)-5)
 	}
-	res := HostResult{Label: fmt.Sprintf("host go-fft %d^3 x%d workers", n, workers),
-		N: n, Workers: workers}
+	effBlock := block
+	if effBlock == 0 {
+		effBlock = fft.DefaultBlockSize
+	}
+	res := HostResult{Label: fmt.Sprintf("host go-fft %d^3 x%d workers B=%d", n, workers, effBlock),
+		N: n, Workers: workers, Block: effBlock}
 
-	run := func(x []complex64) (time.Duration, error) {
-		if workers <= 1 {
-			p, err := fft.NewPlan3D[complex64](n, n, n)
-			if err != nil {
-				return 0, err
-			}
-			start := time.Now()
-			err = p.Transform(x, fft.Forward)
-			return time.Since(start), err
-		}
-		p, err := fft.NewParallelPlan3D[complex64](n, n, n, workers)
+	var transform func([]complex64) error
+	if workers <= 1 {
+		p, err := fft.CachedPlan3D[complex64](n, n, n, fft.WithBlockSize(block))
 		if err != nil {
-			return 0, err
+			return res, err
 		}
-		start := time.Now()
-		err = p.Transform(x, fft.Forward)
-		return time.Since(start), err
+		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
+	} else {
+		p, err := fft.CachedParallelPlan3D[complex64](n, n, n, workers, fft.WithBlockSize(block))
+		if err != nil {
+			return res, err
+		}
+		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
 	}
 
+	// One untimed warmup pass faults in the freshly allocated plan and
+	// copy buffers, so the timed repetitions measure the steady state
+	// rather than first-touch page costs.
 	buf := make([]complex64, total)
+	copy(buf, data)
+	if err := transform(buf); err != nil {
+		return res, err
+	}
 	best := time.Duration(0)
 	for i := 0; i < reps; i++ {
 		copy(buf, data)
-		d, err := run(buf)
+		start := time.Now()
+		err := transform(buf)
+		d := time.Since(start)
 		if err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -75,6 +76,63 @@ func TestIntelAreaFactorReproducesPaperNormalization(t *testing.T) {
 	// 35.4 cm² at 14 nm / 0.54 ≈ 66 cm² (Table VI).
 	if got := 35.4 / Intel14to22AreaFactor; math.Abs(got-65.6) > 0.2 {
 		t.Errorf("normalized = %.1f cm², want ~65.6", got)
+	}
+}
+
+func TestRunHostBenchRecord(t *testing.T) {
+	rec, err := RunHostBench([]int{8}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GOMAXPROCS <= 0 || rec.GOARCH == "" || rec.GoVersion == "" {
+		t.Fatalf("record missing machine context: %+v", rec)
+	}
+	// Blocked and naive at every measured (n, workers) point.
+	if sp := rec.BlockedSpeedup(8, 1); sp <= 0 {
+		t.Error("record lacks a serial blocked/naive pair at n=8")
+	}
+	if rec.BlockedSpeedup(99, 1) != 0 {
+		t.Error("speedup reported for an unmeasured size")
+	}
+	for _, r := range rec.Results {
+		if r.Block < 1 {
+			t.Errorf("unexpected block edge in %+v", r)
+		}
+		if r.Elapsed <= 0 || r.GFLOPS <= 0 {
+			t.Errorf("unmeasured result %+v", r)
+		}
+	}
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rec.Results) || back.Name != rec.Name {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestMeasureHost3DBlockNaiveAgree(t *testing.T) {
+	// Blocked and naive fused rounds are the same transform; their
+	// measured GFLOPS must both be positive and the results identical
+	// in shape metadata.
+	blocked, err := MeasureHost3DBlock(16, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := MeasureHost3DBlock(16, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Block == 1 || naive.Block != 1 {
+		t.Errorf("block metadata wrong: blocked=%+v naive=%+v", blocked, naive)
+	}
+	if blocked.GFLOPS <= 0 || naive.GFLOPS <= 0 {
+		t.Error("non-positive throughput")
 	}
 }
 

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// BenchRecord is the machine-readable perf record (BENCH_fft.json)
+// emitted by `xmtbench -host-bench`: blocked-vs-naive fused-round
+// measurements of the FFTW-substitute host FFT, with enough machine
+// context to compare records from the same host.
+type BenchRecord struct {
+	Name       string       `json:"name"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []HostResult `json:"results"`
+}
+
+// RunHostBench measures the blocked (default tile) and naive
+// (WithBlockSize(1)) fused rounds at each n³, serially and — when the
+// machine has more than one worker available — in parallel, keeping the
+// best of reps runs per point.
+func RunHostBench(sizes []int, workers, reps int) (BenchRecord, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rec := BenchRecord{
+		Name:       "host-fft blocked-vs-naive",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	workerCounts := []int{1}
+	if workers > 1 {
+		workerCounts = append(workerCounts, workers)
+	}
+	for _, n := range sizes {
+		for _, w := range workerCounts {
+			for _, block := range []int{0, 1} { // default blocking, then naive
+				r, err := MeasureHost3DBlock(n, w, reps, block)
+				if err != nil {
+					return rec, fmt.Errorf("baseline: %d^3 x%d B=%d: %w", n, w, block, err)
+				}
+				rec.Results = append(rec.Results, r)
+			}
+		}
+	}
+	return rec, nil
+}
+
+// BlockedSpeedup returns the blocked-over-naive elapsed-time ratio for
+// the given size and worker count, or 0 if the record lacks the pair.
+func (r BenchRecord) BlockedSpeedup(n, workers int) float64 {
+	var blocked, naive *HostResult
+	for i := range r.Results {
+		h := &r.Results[i]
+		if h.N != n || h.Workers != workers {
+			continue
+		}
+		if h.Block == 1 {
+			naive = h
+		} else {
+			blocked = h
+		}
+	}
+	if blocked == nil || naive == nil || blocked.Elapsed <= 0 {
+		return 0
+	}
+	return float64(naive.Elapsed) / float64(blocked.Elapsed)
+}
+
+// Write emits the record as indented JSON.
+func (r BenchRecord) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchRecord parses a record written by Write.
+func ReadBenchRecord(r io.Reader) (BenchRecord, error) {
+	var rec BenchRecord
+	err := json.NewDecoder(r).Decode(&rec)
+	return rec, err
+}

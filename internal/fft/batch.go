@@ -36,6 +36,16 @@ func NewBatchPlan[C Complex](n, howMany, stride, dist int, opts ...PlanOption) (
 		gather: make([]C, n)}, nil
 }
 
+// Clone returns a batch plan sharing this plan's immutable twiddle
+// tables but owning private gather scratch, so the clone can run
+// concurrently with the original.
+func (b *BatchPlan[C]) Clone() *BatchPlan[C] {
+	q := *b
+	q.plan = b.plan.Clone()
+	q.gather = make([]C, len(b.gather))
+	return &q
+}
+
 // MinLen returns the minimum buffer length the layout requires.
 func (b *BatchPlan[C]) MinLen() int {
 	n := b.plan.N()

@@ -1,0 +1,152 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockedRoundMatchesNaive2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, dims := range [][2]int{{4, 4}, {8, 64}, {64, 8}, {2, 128}, {128, 128}} {
+		d0, d1 := dims[0], dims[1]
+		x := randVec128(rng, d0*d1)
+		naive, err := NewPlan2D[complex128](d0, d1, WithBlockSize(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]complex128(nil), x...)
+		if err := naive.Transform(want, Forward); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []int{0, 2, 3, 5, 8, 32, 1024} {
+			p, err := NewPlan2D[complex128](d0, d1, WithBlockSize(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]complex128(nil), x...)
+			if err := p.Transform(got, Forward); err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(got, want); e > tol128 {
+				t.Errorf("%dx%d B=%d: blocked differs from naive by %g", d0, d1, b, e)
+			}
+		}
+	}
+}
+
+func TestBlockedRoundMatchesNaive3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][3]int{{4, 4, 4}, {2, 8, 32}, {32, 8, 2}, {16, 16, 16}} {
+		d0, d1, d2 := dims[0], dims[1], dims[2]
+		x := randVec128(rng, d0*d1*d2)
+		naive, err := NewPlan3D[complex128](d0, d1, d2, WithBlockSize(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]complex128(nil), x...)
+		if err := naive.Transform(want, Forward); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range []int{0, 2, 3, 7, 32} {
+			p, err := NewPlan3D[complex128](d0, d1, d2, WithBlockSize(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]complex128(nil), x...)
+			if err := p.Transform(got, Forward); err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(got, want); e > tol128 {
+				t.Errorf("%v B=%d: blocked differs from naive by %g", dims, b, e)
+			}
+			// Inverse round trip through the same blocking.
+			if err := p.Transform(got, Inverse); err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(got, x); e > tol128 {
+				t.Errorf("%v B=%d: round trip error %g", dims, b, e)
+			}
+		}
+	}
+}
+
+func TestBlockedRowsTransposeRangePartition(t *testing.T) {
+	// Covering [0,rows) with arbitrary disjoint sub-ranges must equal
+	// one full-range call — the property the parallel round relies on.
+	rng := rand.New(rand.NewSource(42))
+	const rows, n, B = 37, 16, 8
+	src := randVec128(rng, rows*n)
+	plan, err := NewPlan[complex128](n, WithNorm(NormNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := make([]complex128, B*n)
+	want := make([]complex128, rows*n)
+	if err := blockedRowsTranspose(want, src, rows, n, 0, rows, B, plan, tile, Forward); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, rows*n)
+	for _, cuts := range [][]int{{0, 37}, {0, 8, 37}, {0, 5, 11, 30, 37}} {
+		for i := range got {
+			got[i] = 0
+		}
+		for c := 0; c+1 < len(cuts); c++ {
+			if err := blockedRowsTranspose(got, src, rows, n, cuts[c], cuts[c+1], B, plan, tile, Forward); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e := relErr(got, want); e > tol128 {
+			t.Errorf("cuts %v: partitioned result differs by %g", cuts, e)
+		}
+	}
+}
+
+func TestWithBlockSizeValidation(t *testing.T) {
+	if _, err := NewPlan2D[complex64](8, 8, WithBlockSize(-1)); err == nil {
+		t.Error("2D negative block size accepted")
+	}
+	if _, err := NewPlan3D[complex64](8, 8, 8, WithBlockSize(-2)); err == nil {
+		t.Error("3D negative block size accepted")
+	}
+	if _, err := NewParallelPlan3D[complex64](8, 8, 8, 2, WithBlockSize(-1)); err == nil {
+		t.Error("parallel negative block size accepted")
+	}
+	p, err := NewPlan3D[complex64](8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.block != DefaultBlockSize {
+		t.Errorf("default block = %d, want %d", p.block, DefaultBlockSize)
+	}
+}
+
+func TestParallelPlansBlockedMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d0, d1, d2 := 8, 16, 32
+	x := randVec128(rng, d0*d1*d2)
+	serial := append([]complex128(nil), x...)
+	ps, err := NewPlan3D[complex128](d0, d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Transform(serial, Forward); err != nil {
+		t.Fatal(err)
+	}
+	// Both the naive and several blocked splits, with worker counts
+	// around and beyond the block count.
+	for _, b := range []int{1, 4, 32} {
+		for _, workers := range []int{1, 3, 7, 64} {
+			pp, err := NewParallelPlan3D[complex128](d0, d1, d2, workers, WithBlockSize(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := append([]complex128(nil), x...)
+			if err := pp.Transform(par, Forward); err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(par, serial); e > tol128 {
+				t.Errorf("B=%d workers=%d: parallel differs from serial by %g", b, workers, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Plan cache: services that issue many same-shape transforms pay the
+// twiddle-table derivation once per (type, shape, options) key instead
+// of per plan. All Cached* constructors are safe to call concurrently.
+//
+// Concurrency contract of the returned plans: CachedPlan, CachedPlan2D
+// and CachedPlan3D hand out a private Clone of the cached master (the
+// immutable twiddle tables are shared, the scratch is not), so each
+// returned plan belongs to its caller and is, like any serial plan, not
+// safe for concurrent Transform calls on the one instance.
+// CachedParallelPlan2D and CachedParallelPlan3D return the shared
+// cached instance itself, which is safe for concurrent Transform calls.
+
+var (
+	planCacheMu sync.Mutex
+	planCache   = map[string]any{}
+)
+
+// cacheKey canonicalizes a plan identity: kind, element type, shape,
+// worker count, and the resolved option set.
+func cacheKey[T Complex](kind string, dims []int, workers int, opts []PlanOption) string {
+	cfg := planConfig{norm: NormByN}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var zero T
+	return fmt.Sprintf("%s %T %v w%d n%d r%v b%d", kind, zero, dims, workers, cfg.norm, cfg.radices, cfg.block)
+}
+
+// cachedBuild returns the cached value for key, building it outside the
+// lock on a miss. If two callers race to build the same key, the first
+// store wins and both receive the same value.
+func cachedBuild[V any](key string, build func() (V, error)) (V, error) {
+	planCacheMu.Lock()
+	if v, ok := planCache[key]; ok {
+		planCacheMu.Unlock()
+		return v.(V), nil
+	}
+	planCacheMu.Unlock()
+	v, err := build()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	if w, ok := planCache[key]; ok {
+		return w.(V), nil
+	}
+	planCache[key] = v
+	return v, nil
+}
+
+// ResetPlanCache drops every cached plan, releasing their twiddle
+// tables; outstanding plans remain valid. Useful in tests and in
+// long-running services after a workload shift.
+func ResetPlanCache() {
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	planCache = map[string]any{}
+}
+
+// CachedPlan returns a 1D plan backed by the shared cache: a private
+// clone of the cached master for n and opts.
+func CachedPlan[T Complex](n int, opts ...PlanOption) (*Plan[T], error) {
+	master, err := cachedBuild(cacheKey[T]("1d", []int{n}, 0, opts), func() (*Plan[T], error) {
+		return NewPlan[T](n, opts...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return master.Clone(), nil
+}
+
+// CachedPlan2D returns a 2D plan backed by the shared cache: a private
+// clone of the cached master for (d0, d1) and opts.
+func CachedPlan2D[T Complex](d0, d1 int, opts ...PlanOption) (*Plan2D[T], error) {
+	master, err := cachedBuild(cacheKey[T]("2d", []int{d0, d1}, 0, opts), func() (*Plan2D[T], error) {
+		return NewPlan2D[T](d0, d1, opts...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return master.Clone(), nil
+}
+
+// CachedPlan3D returns a 3D plan backed by the shared cache: a private
+// clone of the cached master for (d0, d1, d2) and opts.
+func CachedPlan3D[T Complex](d0, d1, d2 int, opts ...PlanOption) (*Plan3D[T], error) {
+	master, err := cachedBuild(cacheKey[T]("3d", []int{d0, d1, d2}, 0, opts), func() (*Plan3D[T], error) {
+		return NewPlan3D[T](d0, d1, d2, opts...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return master.Clone(), nil
+}
+
+// CachedParallelPlan2D returns the shared cached parallel 2D plan for
+// the key; the plan is safe for concurrent Transform calls as-is.
+func CachedParallelPlan2D[T Complex](d0, d1, workers int, opts ...PlanOption) (*ParallelPlan2D[T], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return cachedBuild(cacheKey[T]("par2d", []int{d0, d1}, workers, opts), func() (*ParallelPlan2D[T], error) {
+		return NewParallelPlan2D[T](d0, d1, workers, opts...)
+	})
+}
+
+// CachedParallelPlan3D returns the shared cached parallel 3D plan for
+// the key; the plan is safe for concurrent Transform calls as-is.
+func CachedParallelPlan3D[T Complex](d0, d1, d2, workers int, opts ...PlanOption) (*ParallelPlan3D[T], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return cachedBuild(cacheKey[T]("par3d", []int{d0, d1, d2}, workers, opts), func() (*ParallelPlan3D[T], error) {
+		return NewParallelPlan3D[T](d0, d1, d2, workers, opts...)
+	})
+}

@@ -1,0 +1,188 @@
+package fft
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCachedPlanClonesShareTables(t *testing.T) {
+	defer ResetPlanCache()
+	ResetPlanCache()
+	a, err := CachedPlan[complex128](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedPlan[complex128](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("CachedPlan returned the same instance twice; want private clones")
+	}
+	if &a.tw[Forward][0][0] != &b.tw[Forward][0][0] {
+		t.Error("clones do not share twiddle tables")
+	}
+	if &a.scratch[0] == &b.scratch[0] {
+		t.Error("clones share scratch")
+	}
+	// Cached result matches a fresh plan.
+	rng := rand.New(rand.NewSource(50))
+	x := randVec128(rng, 64)
+	fresh, _ := NewPlan[complex128](64)
+	want := append([]complex128(nil), x...)
+	fresh.Transform(want, Forward)
+	got := append([]complex128(nil), x...)
+	if err := a.Transform(got, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > tol128 {
+		t.Errorf("cached plan differs from fresh plan by %g", e)
+	}
+}
+
+func TestCachedPlanKeysDistinguishOptionsAndTypes(t *testing.T) {
+	defer ResetPlanCache()
+	ResetPlanCache()
+	r8, err := CachedPlan[complex128](64, WithRadices([]int{8, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CachedPlan[complex128](64, WithRadices([]int{2, 2, 2, 2, 2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r8.PassRadices()) == len(r2.PassRadices()) {
+		t.Error("radix options collided in the cache")
+	}
+	// Same size, different element type must not collide.
+	if _, err := CachedPlan[complex64](64); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid options surface the construction error.
+	if _, err := CachedPlan[complex128](64, WithRadices([]int{8})); err == nil {
+		t.Error("invalid radices accepted")
+	}
+}
+
+func TestCachedMultiDimPlans(t *testing.T) {
+	defer ResetPlanCache()
+	ResetPlanCache()
+	rng := rand.New(rand.NewSource(51))
+	x := randVec128(rng, 8*16)
+	fresh, _ := NewPlan2D[complex128](8, 16)
+	want := append([]complex128(nil), x...)
+	fresh.Transform(want, Forward)
+
+	p2a, err := CachedPlan2D[complex128](8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2b, err := CachedPlan2D[complex128](8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2a == p2b {
+		t.Error("CachedPlan2D returned a shared instance; want clones")
+	}
+	got := append([]complex128(nil), x...)
+	if err := p2a.Transform(got, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > tol128 {
+		t.Errorf("cached 2D plan differs by %g", e)
+	}
+
+	if _, err := CachedPlan3D[complex128](4, 8, 16); err != nil {
+		t.Fatal(err)
+	}
+	pp3a, err := CachedParallelPlan3D[complex128](4, 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp3b, err := CachedParallelPlan3D[complex128](4, 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp3a != pp3b {
+		t.Error("CachedParallelPlan3D did not return the shared instance")
+	}
+	pp2a, err := CachedParallelPlan2D[complex128](8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp2b, err := CachedParallelPlan2D[complex128](8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp2a != pp2b {
+		t.Error("CachedParallelPlan2D did not return the shared instance")
+	}
+	ResetPlanCache()
+	pp3c, err := CachedParallelPlan3D[complex128](4, 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp3c == pp3a {
+		t.Error("ResetPlanCache did not drop the cached plan")
+	}
+}
+
+// TestCachedPlansConcurrent hammers the cache and the returned plans
+// from many goroutines (run under -race in CI): concurrent lookups of
+// the same key, concurrent Transforms on the shared parallel plan, and
+// concurrent Transforms on per-caller serial clones, all checked
+// against the serial reference.
+func TestCachedPlansConcurrent(t *testing.T) {
+	defer ResetPlanCache()
+	ResetPlanCache()
+	rng := rand.New(rand.NewSource(52))
+	d0, d1, d2 := 8, 8, 16
+	x := randVec128(rng, d0*d1*d2)
+	ref, err := NewPlan3D[complex128](d0, d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]complex128(nil), x...)
+	if err := ref.Transform(want, Forward); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				pp, err := CachedParallelPlan3D[complex128](d0, d1, d2, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := append([]complex128(nil), x...)
+				if err := pp.Transform(got, Forward); err != nil {
+					t.Error(err)
+					return
+				}
+				if e := relErr(got, want); e > tol128 {
+					t.Errorf("concurrent cached parallel transform differs by %g", e)
+					return
+				}
+				sp, err := CachedPlan3D[complex128](d0, d1, d2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got2 := append([]complex128(nil), x...)
+				if err := sp.Transform(got2, Forward); err != nil {
+					t.Error(err)
+					return
+				}
+				if e := relErr(got2, want); e > tol128 {
+					t.Errorf("concurrent cached serial clone differs by %g", e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package fft
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// cloneHandledFields lists, per cloneable plan type, the fields its
+// Clone method knowingly handles (copied, shared, or reallocated). If a
+// plan type grows a field that is not listed here, the coverage test
+// below fails — forcing whoever adds the field to decide how Clone
+// treats it and then extend both Clone and this list.
+var cloneHandledFields = map[reflect.Type][]string{
+	reflect.TypeOf(Plan[complex64]{}):      {"n", "radices", "norm", "tw", "scratch"},
+	reflect.TypeOf(Plan2D[complex64]{}):    {"d0", "d1", "p0", "p1", "norm", "block", "buf", "tile"},
+	reflect.TypeOf(Plan3D[complex64]{}):    {"d0", "d1", "d2", "plans", "norm", "block", "buf", "tile"},
+	reflect.TypeOf(BatchPlan[complex64]{}): {"plan", "HowMany", "Stride", "Dist", "gather"},
+}
+
+func TestCloneFieldCoverage(t *testing.T) {
+	for tp, handled := range cloneHandledFields {
+		known := map[string]bool{}
+		for _, f := range handled {
+			known[f] = true
+		}
+		for i := 0; i < tp.NumField(); i++ {
+			name := tp.Field(i).Name
+			if !known[name] {
+				t.Errorf("%v has field %q that Clone does not handle; update Clone and cloneHandledFields", tp, name)
+			}
+			delete(known, name)
+		}
+		for name := range known {
+			t.Errorf("cloneHandledFields lists %v field %q which no longer exists", tp, name)
+		}
+	}
+}
+
+func TestPlanCloneBehavioralEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	p, err := NewPlan[complex128](64, WithRadices([]int{2, 2, 2, 2, 2, 2}), WithNorm(NormUnitary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if &c.scratch[0] == &p.scratch[0] {
+		t.Error("clone shares scratch with the original")
+	}
+	if len(c.PassRadices()) != len(p.PassRadices()) || c.norm != p.norm || c.n != p.n {
+		t.Error("clone lost configuration")
+	}
+	for _, dir := range []Direction{Forward, Inverse} {
+		x := randVec128(rng, 64)
+		want := append([]complex128(nil), x...)
+		if err := p.Transform(want, dir); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), x...)
+		if err := c.Transform(got, dir); err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(got, want); e > tol128 {
+			t.Errorf("dir %d: clone output differs from original by %g", dir, e)
+		}
+	}
+}
+
+func TestMultiDimCloneBehavioralEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+
+	p2, err := NewPlan2D[complex128](16, 8, WithNorm(NormUnitary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := p2.Clone()
+	if c2.p0 == p2.p0 || c2.p1 == p2.p1 {
+		t.Error("2D clone shares row plans with the original")
+	}
+	x2 := randVec128(rng, 16*8)
+	want2 := append([]complex128(nil), x2...)
+	p2.Transform(want2, Forward)
+	got2 := append([]complex128(nil), x2...)
+	if err := c2.Transform(got2, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got2, want2); e > tol128 {
+		t.Errorf("2D clone differs by %g", e)
+	}
+
+	// A cube plan aliases one row plan across all three rounds; the
+	// clone must preserve that aliasing (one clone, used three times).
+	p3, err := NewPlan3D[complex128](8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := p3.Clone()
+	if p3.plans[0] != p3.plans[1] || c3.plans[0] != c3.plans[1] || c3.plans[1] != c3.plans[2] {
+		t.Error("cube plan aliasing not preserved by Clone")
+	}
+	if c3.plans[0] == p3.plans[0] {
+		t.Error("3D clone shares row plans with the original")
+	}
+	x3 := randVec128(rng, 8*8*8)
+	want3 := append([]complex128(nil), x3...)
+	p3.Transform(want3, Forward)
+	got3 := append([]complex128(nil), x3...)
+	if err := c3.Transform(got3, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got3, want3); e > tol128 {
+		t.Errorf("3D clone differs by %g", e)
+	}
+
+	bp, err := NewBatchPlan[complex128](8, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := bp.Clone()
+	if cb.plan == bp.plan {
+		t.Error("batch clone shares the row plan")
+	}
+	xb := randVec128(rng, bp.MinLen())
+	wantb := append([]complex128(nil), xb...)
+	bp.Transform(wantb, Forward)
+	gotb := append([]complex128(nil), xb...)
+	if err := cb.Transform(gotb, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(gotb, wantb); e > tol128 {
+		t.Errorf("batch clone differs by %g", e)
+	}
+}

@@ -9,39 +9,68 @@ import "fmt"
 // transpose). The row transform and the rotation are fused — each
 // round reads the array once and writes it once — mirroring the
 // implementation choice the paper makes to "reduce the number of
-// synchronization points and round trips to memory".
+// synchronization points and round trips to memory". The fused rounds
+// are cache-blocked (see block.go); WithBlockSize(1) selects the
+// unblocked scatter for the blocking ablation.
+//
+// Plan2D and Plan3D own scratch buffers and are therefore not safe for
+// concurrent Transform calls; use Clone (cheap: twiddle tables are
+// shared) to give each goroutine its own, or the ParallelPlan variants,
+// which are concurrency-safe.
 
 // Plan2D transforms dense row-major d0×d1 arrays (index i*d1 + j).
 type Plan2D[T Complex] struct {
 	d0, d1 int
 	p0, p1 *Plan[T]
 	norm   Normalization
+	block  int
 	buf    []T
-	rowbuf []T
+	tile   []T
 }
 
 // NewPlan2D builds a 2D plan; both dimensions must be powers of two.
+// Radix and blocking options are forwarded to the inner row plans.
 func NewPlan2D[T Complex](d0, d1 int, opts ...PlanOption) (*Plan2D[T], error) {
 	cfg := planConfig{norm: NormByN}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	p0, err := NewPlan[T](d0, WithNorm(NormNone))
+	block, err := resolveBlock(cfg.block)
+	if err != nil {
+		return nil, err
+	}
+	rowOpts := rowPlanOpts(opts)
+	p0, err := NewPlan[T](d0, rowOpts...)
 	if err != nil {
 		return nil, err
 	}
 	p1 := p0
 	if d1 != d0 {
-		if p1, err = NewPlan[T](d1, WithNorm(NormNone)); err != nil {
+		if p1, err = NewPlan[T](d1, rowOpts...); err != nil {
 			return nil, err
 		}
 	}
-	return &Plan2D[T]{d0: d0, d1: d1, p0: p0, p1: p1, norm: cfg.norm,
-		buf: make([]T, d0*d1), rowbuf: make([]T, max(d0, d1))}, nil
+	return &Plan2D[T]{d0: d0, d1: d1, p0: p0, p1: p1, norm: cfg.norm, block: block,
+		buf: make([]T, d0*d1), tile: make([]T, block*max(d0, d1))}, nil
 }
 
 // Size returns the array dimensions.
 func (p *Plan2D[T]) Size() (d0, d1 int) { return p.d0, p.d1 }
+
+// Clone returns a plan sharing this plan's immutable twiddle tables but
+// owning private scratch, so the clone can transform concurrently with
+// the original.
+func (p *Plan2D[T]) Clone() *Plan2D[T] {
+	q := *p
+	q.p1 = p.p1.Clone()
+	q.p0 = q.p1
+	if p.p0 != p.p1 {
+		q.p0 = p.p0.Clone()
+	}
+	q.buf = make([]T, len(p.buf))
+	q.tile = make([]T, len(p.tile))
+	return &q
+}
 
 // Transform computes the in-place 2D transform of x.
 func (p *Plan2D[T]) Transform(x []T, dir Direction) error {
@@ -49,20 +78,30 @@ func (p *Plan2D[T]) Transform(x []T, dir Direction) error {
 		return fmt.Errorf("fft: input length %d, want %d", len(x), p.d0*p.d1)
 	}
 	// Round 1: FFT rows of length d1, writing transposed into buf.
-	if err := rowsAndRotate(p.buf, x, p.d0, p.d1, p.p1, p.rowbuf, dir); err != nil {
+	if err := fusedRound(p.buf, x, p.d0, p.d1, p.block, p.p1, p.tile, dir); err != nil {
 		return err
 	}
 	// Round 2: rows of length d0 (original columns), transposing back.
-	if err := rowsAndRotate(x, p.buf, p.d1, p.d0, p.p0, p.rowbuf, dir); err != nil {
+	if err := fusedRound(x, p.buf, p.d1, p.d0, p.block, p.p0, p.tile, dir); err != nil {
 		return err
 	}
 	applyNorm(x, p.d0*p.d1, dir, p.norm)
 	return nil
 }
 
+// fusedRound runs one fused row-FFT+rotation round over all rows,
+// blocked unless bsize == 1 (the naive reference round).
+func fusedRound[T Complex](dst, src []T, rows, n, bsize int, plan *Plan[T], tile []T, dir Direction) error {
+	if bsize == 1 {
+		return rowsAndRotate(dst, src, rows, n, plan, tile, dir)
+	}
+	return blockedRowsTranspose(dst, src, rows, n, 0, rows, bsize, plan, tile, dir)
+}
+
 // rowsAndRotate transforms each length-d1 row of src (a d0×d1 array)
 // and stores the result transposed into dst (a d1×d0 array): the fused
-// FFT+rotation round.
+// FFT+rotation round, in its naive form — every write lands d0 elements
+// from its neighbour. Kept as the WithBlockSize(1) ablation reference.
 func rowsAndRotate[T Complex](dst, src []T, d0, d1 int, plan *Plan[T], rowbuf []T, dir Direction) error {
 	row := rowbuf[:d1]
 	for i := 0; i < d0; i++ {
@@ -81,19 +120,26 @@ func rowsAndRotate[T Complex](dst, src []T, d0, d1 int, plan *Plan[T], rowbuf []
 // (index (i*d1 + j)*d2 + k).
 type Plan3D[T Complex] struct {
 	d0, d1, d2 int
-	plans      [3]*Plan[T] // per-axis plans, indexed by axis length order d2,d1,d0
+	plans      [3]*Plan[T] // per-round row plans, for lengths d2, d1, d0
 	norm       Normalization
+	block      int
 	buf        []T
-	rowbuf     []T
+	tile       []T
 }
 
 // NewPlan3D builds a 3D plan; all dimensions must be powers of two.
+// Radix and blocking options are forwarded to the inner row plans.
 func NewPlan3D[T Complex](d0, d1, d2 int, opts ...PlanOption) (*Plan3D[T], error) {
 	cfg := planConfig{norm: NormByN}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	mk := func(n int) (*Plan[T], error) { return NewPlan[T](n, WithNorm(NormNone)) }
+	block, err := resolveBlock(cfg.block)
+	if err != nil {
+		return nil, err
+	}
+	rowOpts := rowPlanOpts(opts)
+	mk := func(n int) (*Plan[T], error) { return NewPlan[T](n, rowOpts...) }
 	p2, err := mk(d2)
 	if err != nil {
 		return nil, err
@@ -115,12 +161,31 @@ func NewPlan3D[T Complex](d0, d1, d2 int, opts ...PlanOption) (*Plan3D[T], error
 		}
 	}
 	return &Plan3D[T]{d0: d0, d1: d1, d2: d2, plans: [3]*Plan[T]{p2, p1, p0},
-		norm: cfg.norm, buf: make([]T, d0*d1*d2),
-		rowbuf: make([]T, max(d0, max(d1, d2)))}, nil
+		norm: cfg.norm, block: block, buf: make([]T, d0*d1*d2),
+		tile: make([]T, block*max(d0, max(d1, d2)))}, nil
 }
 
 // Size returns the array dimensions.
 func (p *Plan3D[T]) Size() (d0, d1, d2 int) { return p.d0, p.d1, p.d2 }
+
+// Clone returns a plan sharing this plan's immutable twiddle tables but
+// owning private scratch, so the clone can transform concurrently with
+// the original.
+func (p *Plan3D[T]) Clone() *Plan3D[T] {
+	q := *p
+	clones := map[*Plan[T]]*Plan[T]{}
+	for i, pl := range p.plans {
+		c, ok := clones[pl]
+		if !ok {
+			c = pl.Clone()
+			clones[pl] = c
+		}
+		q.plans[i] = c
+	}
+	q.buf = make([]T, len(p.buf))
+	q.tile = make([]T, len(p.tile))
+	return &q
+}
 
 // Transform computes the in-place 3D transform of x: three rounds of
 // fused row-FFT + axis rotation (i,j,k) → (k,i,j), returning the array
@@ -133,15 +198,15 @@ func (p *Plan3D[T]) Transform(x []T, dir Direction) error {
 	dims := [3]int{p.d0, p.d1, p.d2}
 	src, dst := x, p.buf
 	for round := 0; round < 3; round++ {
-		if err := rows3DAndRotate(dst, src, dims, p.plans[round], p.rowbuf, dir); err != nil {
+		if err := fusedRound(dst, src, dims[0]*dims[1], dims[2], p.block, p.plans[round], p.tile, dir); err != nil {
 			return err
 		}
 		dims = [3]int{dims[2], dims[0], dims[1]}
 		src, dst = dst, src
 	}
-	// Three swaps: data ends back in x (src == x after an odd number of
-	// swaps is p.buf; after 3 rounds src==dst^3... check: round count 3
-	// is odd, so the final result lives in p.buf when it started in x.
+	// Each round swaps src and dst; after the odd (third) swap the
+	// transformed data lives in p.buf and src points at it, so copy it
+	// back into x.
 	if &src[0] != &x[0] {
 		copy(x, src)
 	}
@@ -151,22 +216,11 @@ func (p *Plan3D[T]) Transform(x []T, dir Direction) error {
 
 // rows3DAndRotate transforms each length-d2 row of src (d0×d1×d2) and
 // writes the result into dst laid out as d2×d0×d1: the fused rotation
-// dst[k][i][j] = FFTrow(src[i][j])[k].
+// dst[k][i][j] = FFTrow(src[i][j])[k]. With R = d0·d1 and r = i·d1+j
+// the destination index is k·R + r, so this is rowsAndRotate on the
+// flattened R×d2 row matrix; kept separate as the naive reference.
 func rows3DAndRotate[T Complex](dst, src []T, dims [3]int, plan *Plan[T], rowbuf []T, dir Direction) error {
-	d0, d1, d2 := dims[0], dims[1], dims[2]
-	row := rowbuf[:d2]
-	for i := 0; i < d0; i++ {
-		for j := 0; j < d1; j++ {
-			copy(row, src[(i*d1+j)*d2:(i*d1+j+1)*d2])
-			if err := plan.Transform(row, dir); err != nil {
-				return err
-			}
-			for k, v := range row {
-				dst[(k*d0+i)*d1+j] = v
-			}
-		}
-	}
-	return nil
+	return rowsAndRotate(dst, src, dims[0]*dims[1], dims[2], plan, rowbuf, dir)
 }
 
 // Rotate3D rotates axes (i,j,k) → (k,i,j): dst, laid out d2×d0×d1,

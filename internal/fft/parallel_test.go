@@ -1,0 +1,164 @@
+package fft
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestMultiDimPlansForwardRadices is the regression test for the
+// option-dropping bug: the multi-dimensional constructors accepted
+// PlanOptions but never forwarded WithRadices to their row plans, so
+// the radix-ablation study silently ran default radices on every
+// multi-dim plan.
+func TestMultiDimPlansForwardRadices(t *testing.T) {
+	rs := []int{2, 2, 2, 2, 2, 2} // 64 as six radix-2 passes (default is 8,8)
+	p2, err := NewPlan2D[complex128](64, 64, WithRadices(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.p1.PassRadices(); !reflect.DeepEqual(got, rs) {
+		t.Errorf("2D row plan radices = %v, want %v", got, rs)
+	}
+	if got := p2.p0.PassRadices(); !reflect.DeepEqual(got, rs) {
+		t.Errorf("2D column plan radices = %v, want %v", got, rs)
+	}
+
+	p3, err := NewPlan3D[complex128](64, 64, 64, WithRadices(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, pl := range p3.plans {
+		if got := pl.PassRadices(); !reflect.DeepEqual(got, rs) {
+			t.Errorf("3D round-%d plan radices = %v, want %v", round, got, rs)
+		}
+	}
+
+	pp2, err := NewParallelPlan2D[complex128](64, 64, 2, WithRadices(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, pl := range pp2.rounds {
+		if got := pl.PassRadices(); !reflect.DeepEqual(got, rs) {
+			t.Errorf("parallel 2D round-%d radices = %v, want %v", round, got, rs)
+		}
+	}
+
+	pp3, err := NewParallelPlan3D[complex128](64, 64, 64, 2, WithRadices(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, pl := range pp3.rounds {
+		if got := pl.PassRadices(); !reflect.DeepEqual(got, rs) {
+			t.Errorf("parallel 3D round-%d radices = %v, want %v", round, got, rs)
+		}
+	}
+
+	// The overridden decomposition must still transform correctly.
+	rng := rand.New(rand.NewSource(70))
+	x := randVec128(rng, 64*64)
+	def, _ := NewPlan2D[complex128](64, 64)
+	want := append([]complex128(nil), x...)
+	def.Transform(want, Forward)
+	got := append([]complex128(nil), x...)
+	if err := p2.Transform(got, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > tol128 {
+		t.Errorf("radix-2 2D plan differs from default by %g", e)
+	}
+
+	// A radix override that does not match an axis length must error,
+	// not be silently dropped.
+	if _, err := NewPlan2D[complex128](64, 128, WithRadices(rs)); err == nil {
+		t.Error("mismatched radix override accepted for 64x128")
+	}
+}
+
+// TestParallelPlan3DConcurrentTransforms guards the shared-buffer fix:
+// before the per-call pooled execution contexts, every concurrent
+// Transform on one ParallelPlan3D scribbled over the same p.buf and
+// produced corrupt output (and a -race failure).
+func TestParallelPlan3DConcurrentTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	d0, d1, d2 := 16, 8, 16
+	ref, err := NewPlan3D[complex128](d0, d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelPlan3D[complex128](d0, d1, d2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct inputs per goroutine so buffer sharing cannot hide as
+	// identical results.
+	const goroutines = 8
+	inputs := make([][]complex128, goroutines)
+	wants := make([][]complex128, goroutines)
+	for g := range inputs {
+		inputs[g] = randVec128(rng, d0*d1*d2)
+		wants[g] = append([]complex128(nil), inputs[g]...)
+		if err := ref.Transform(wants[g], Forward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				got := append([]complex128(nil), inputs[g]...)
+				if err := pp.Transform(got, Forward); err != nil {
+					t.Error(err)
+					return
+				}
+				if e := relErr(got, wants[g]); e > tol128 {
+					t.Errorf("goroutine %d: concurrent transform differs by %g", g, e)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The 2D parallel plan shares the same pooled-context machinery; check
+// it under concurrency too.
+func TestParallelPlan2DConcurrentTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	d0, d1 := 64, 32
+	ref, err := NewPlan2D[complex128](d0, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelPlan2D[complex128](d0, d1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec128(rng, d0*d1)
+	want := append([]complex128(nil), x...)
+	if err := ref.Transform(want, Forward); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				got := append([]complex128(nil), x...)
+				if err := pp.Transform(got, Forward); err != nil {
+					t.Error(err)
+					return
+				}
+				if e := relErr(got, want); e > tol128 {
+					t.Errorf("concurrent 2D transform differs by %g", e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

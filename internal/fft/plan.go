@@ -25,6 +25,7 @@ type PlanOption func(*planConfig)
 type planConfig struct {
 	norm    Normalization
 	radices []int
+	block   int
 }
 
 // WithNorm sets the inverse-transform normalization (default NormByN).
@@ -34,9 +35,19 @@ func WithNorm(n Normalization) PlanOption {
 
 // WithRadices overrides the pass radix decomposition (values in
 // {2,4,8}, product must equal the transform size). Used by the radix
-// ablation study.
+// ablation study. Multi-dimensional plans forward the override to every
+// row plan, so the product must match each axis length.
 func WithRadices(rs []int) PlanOption {
 	return func(c *planConfig) { c.radices = rs }
+}
+
+// WithBlockSize sets the tile edge B used by the cache-blocked fused
+// row-FFT+rotation rounds of the multi-dimensional plans. 0 selects
+// DefaultBlockSize; 1 selects the unblocked (naive, one scattered write
+// per element) round kept for the blocking ablation. 1D plans ignore
+// the option.
+func WithBlockSize(b int) PlanOption {
+	return func(c *planConfig) { c.block = b }
 }
 
 // NewPlan builds a plan for n-point transforms (n a power of two).
