@@ -68,7 +68,7 @@ func main() {
 
 	if *ablation {
 		fmt.Println()
-		if err := harness.AblationReport(os.Stdout, 512, 16); err != nil {
+		if err := harness.AblationReport(os.Stdout, 1024, 32); err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}

@@ -11,18 +11,27 @@
 // cache-blocked fused transform rounds against the naive unblocked
 // rounds, serial and parallel, written as a BENCH_fft.json perf record.
 //
+// With -sim-bench the simulator itself is measured: the same FFT
+// workload runs on the legacy serial engine and on the sharded parallel
+// engine at several -sim-bench-workers counts, and the wall-clock
+// results are written as a BENCH_sim.json perf record.
+//
 // Usage:
 //
-//	xmtbench                  # defaults: 4k scaled to 512 TCUs, 16^3
-//	xmtbench -tcus 1024 -n 32
+//	xmtbench                  # defaults: 4k scaled to 1024 TCUs, 32^3
+//	xmtbench -tcus 512 -n 16  # small size (the CI smoke path)
+//	xmtbench -sim-workers 4   # ablations on the sharded engine
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 //	xmtbench -host-bench BENCH_fft.json -host-n 128,256
+//	xmtbench -sim-bench BENCH_sim.json -sim-bench-workers 1,2,4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,8 +41,14 @@ import (
 )
 
 func main() {
-	tcus := flag.Int("tcus", 512, "machine size in TCUs (scaled 4k configuration)")
-	n := flag.Int("n", 16, "points per dimension (power of two)")
+	tcus := flag.Int("tcus", 1024, "machine size in TCUs (scaled 4k configuration)")
+	n := flag.Int("n", 32, "points per dimension (power of two)")
+	simWorkers := flag.Int("sim-workers", 0, "simulation worker count: 0 = legacy serial engine, >= 1 = sharded parallel engine")
+	simBench := flag.String("sim-bench", "", "measure the simulator (legacy vs sharded engine) on the FFT workload and write a BENCH_sim.json perf record to this path ('-' for stdout)")
+	simBenchWorkers := flag.String("sim-bench-workers", "1,2,4", "comma-separated sharded worker counts for -sim-bench")
+	simReps := flag.Int("sim-reps", 3, "repetitions per -sim-bench point (best run kept)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the baseline variant to this path")
 	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for -trace / -util-svg")
 	utilSVG := flag.String("util-svg", "", "write an epoch-utilization heat-strip SVG of the baseline variant to this path")
@@ -43,8 +58,40 @@ func main() {
 	hostReps := flag.Int("host-reps", 1, "repetitions per -host-bench point (best run kept)")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *memProfile)
+		}()
+	}
+
 	if *hostBench != "" {
 		if err := runHostBench(*hostBench, *hostSizes, *hostWorkers, *hostReps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *simBench != "" {
+		if err := runSimBench(*simBench, *simBenchWorkers, *tcus, *n, *simReps); err != nil {
 			fatal(err)
 		}
 		return
@@ -57,7 +104,7 @@ func main() {
 		}
 		epoch = *traceEpoch
 	}
-	rec, err := harness.AblationReportTrace(os.Stdout, *tcus, *n, epoch)
+	rec, err := harness.AblationReportTraceWorkers(os.Stdout, *tcus, *n, epoch, *simWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +152,49 @@ func runHostBench(path, sizeList string, workers, reps int) error {
 		if sp := rec.BlockedSpeedup(n, 1); sp > 0 {
 			fmt.Printf("%d^3 serial blocked/naive speedup: %.2fx\n", n, sp)
 		}
+	}
+	if path == "-" {
+		return rec.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.Write(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+// runSimBench measures the simulation engines and writes BENCH_sim.json.
+func runSimBench(path, workerList string, tcus, n, reps int) error {
+	var workers []int
+	for _, s := range strings.Split(workerList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -sim-bench-workers entry %q: %w", s, err)
+		}
+		workers = append(workers, v)
+	}
+	rec, err := harness.RunSimBench(tcus, n, workers, reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rec.Results {
+		label := r.Engine
+		if r.Engine == "sharded" {
+			label = fmt.Sprintf("%s workers=%d", r.Engine, r.Workers)
+		}
+		fmt.Printf("%-20s %10.4fs  %12d cycles  %9.0f events/s\n",
+			label, r.ElapsedSec, r.Cycles, r.EventsPerSec)
+	}
+	for k, v := range rec.SpeedupVsSerialDriver {
+		fmt.Printf("speedup %s: %.2fx\n", k, v)
+	}
+	if rec.Note != "" {
+		fmt.Println("note:", rec.Note)
 	}
 	if path == "-" {
 		return rec.Write(os.Stdout)

@@ -8,6 +8,7 @@
 // Examples:
 //
 //	xmtfft -config 4k -tcus 1024 -n 32 -dims 3
+//	xmtfft -config 4k -tcus 1024 -n 32 -sim-workers 4   # sharded engine
 //	xmtfft -config "128k x4" -model -n 512
 package main
 
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
@@ -42,7 +45,36 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace to this path (detailed mode)")
 	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for -trace / -util-svg")
 	utilSVG := flag.String("util-svg", "", "write an epoch-utilization heat-strip SVG to this path (detailed mode)")
+	simWorkers := flag.Int("sim-workers", 0, "simulation worker count: 0 = legacy serial engine, >= 1 = sharded parallel engine")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *memProfile)
+		}()
+	}
 
 	cfg, err := config.ByName(*cfgName)
 	if err != nil {
@@ -74,7 +106,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	m, err := xmt.New(cfg)
+	var m *xmt.Machine
+	if *simWorkers > 0 {
+		m, err = xmt.NewParallel(cfg, *simWorkers)
+	} else {
+		m, err = xmt.New(cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}

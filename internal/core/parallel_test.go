@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/xmt"
+)
+
+// The full 3D FFT as a differential workload for the sharded engine:
+// functional output and phase-by-phase cycle counts must be identical at
+// every worker count, and the functional output must also match the
+// legacy serial engine exactly (the instruction streams are the same;
+// only event tie-breaking differs, which affects timing, not values).
+
+func fillTest(data []complex64) {
+	for i := range data {
+		data[i] = complex(float32(i%17)-8, float32(i%11)-5)
+	}
+}
+
+func TestTransform3DShardedWorkerInvariance(t *testing.T) {
+	cfg, err := config.FourK().Scaled(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		data   []complex64
+		cycles uint64
+		phases []uint64
+	}
+	run := func(workers int) outcome {
+		m, err := xmt.NewParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := New3D(m, 8, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillTest(tr.Data)
+		res, err := tr.Run(fft.Forward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := outcome{data: tr.Data, cycles: res.TotalCycles()}
+		for _, p := range res.Phases {
+			o.phases = append(o.phases, p.Cycles)
+		}
+		return o
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if got.cycles != ref.cycles {
+			t.Errorf("workers=%d: total cycles %d, want %d", workers, got.cycles, ref.cycles)
+		}
+		for i := range ref.phases {
+			if got.phases[i] != ref.phases[i] {
+				t.Errorf("workers=%d: phase %d cycles %d, want %d",
+					workers, i, got.phases[i], ref.phases[i])
+			}
+		}
+		for i := range ref.data {
+			if got.data[i] != ref.data[i] {
+				t.Fatalf("workers=%d: output diverges at %d: %v vs %v",
+					workers, i, got.data[i], ref.data[i])
+			}
+		}
+	}
+}
+
+func TestTransform3DShardedMatchesLegacyFunctionally(t *testing.T) {
+	cfg, err := config.FourK().Scaled(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := xmt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := xmt.NewParallel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trL, err := New3D(leg, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trS, err := New3D(shd, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTest(trL.Data)
+	fillTest(trS.Data)
+	rl, err := trL.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := trS.Run(fft.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trL.Data {
+		if trL.Data[i] != trS.Data[i] {
+			t.Fatalf("output diverges at %d: legacy %v, sharded %v",
+				i, trL.Data[i], trS.Data[i])
+		}
+	}
+	lc, sc := float64(rl.TotalCycles()), float64(rs.TotalCycles())
+	if ratio := sc / lc; ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("cycle counts diverged beyond tolerance: legacy %d, sharded %d",
+			rl.TotalCycles(), rs.TotalCycles())
+	}
+}

@@ -315,11 +315,18 @@ func WeakScalingReport(w io.Writer) error {
 // rather than modeled — the cross-validation artifact. tcus selects the
 // scaled machine size and n the (small) cube size.
 func Fig3Detailed(w io.Writer, base config.Config, tcus, n int) error {
+	return Fig3DetailedWorkers(w, base, tcus, n, 0)
+}
+
+// Fig3DetailedWorkers is Fig3Detailed with an explicit simulation worker
+// count: 0 runs the legacy serial engine, >= 1 the sharded parallel
+// engine with that many workers (1 being its serial driver).
+func Fig3DetailedWorkers(w io.Writer, base config.Config, tcus, n, workers int) error {
 	cfg, err := base.Scaled(tcus)
 	if err != nil {
 		return err
 	}
-	m, err := xmt.New(cfg)
+	m, err := newMachine(cfg, workers)
 	if err != nil {
 		return err
 	}
@@ -388,6 +395,15 @@ func AblationReport(w io.Writer, tcus, n int) error {
 	return err
 }
 
+// newMachine builds a machine on the legacy serial engine (workers == 0)
+// or the sharded parallel engine (workers >= 1; see xmt.NewParallel).
+func newMachine(cfg config.Config, workers int) (*xmt.Machine, error) {
+	if workers == 0 {
+		return xmt.New(cfg)
+	}
+	return xmt.NewParallel(cfg, workers)
+}
+
 // AblationReportTrace is AblationReport with tracing: when epoch is
 // non-zero, the baseline ("paper") variant runs with a trace recorder
 // sampling utilization every epoch cycles, and the recorder is returned
@@ -395,6 +411,13 @@ func AblationReport(w io.Writer, tcus, n int) error {
 // variants run untraced so the table's relative timings are unaffected
 // either way — attaching a recorder never alters simulated cycles.
 func AblationReportTrace(w io.Writer, tcus, n int, epoch uint64) (*trace.Recorder, error) {
+	return AblationReportTraceWorkers(w, tcus, n, epoch, 0)
+}
+
+// AblationReportTraceWorkers is AblationReportTrace with an explicit
+// simulation worker count (0 = legacy serial engine, >= 1 = sharded
+// parallel engine).
+func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers int) (*trace.Recorder, error) {
 	cfg, err := config.FourK().Scaled(tcus)
 	if err != nil {
 		return nil, err
@@ -419,7 +442,7 @@ func AblationReportTrace(w io.Writer, tcus, n int, epoch uint64) (*trace.Recorde
 	var base uint64
 	var rec *trace.Recorder
 	for vi, v := range variants {
-		m, err := xmt.New(cfg)
+		m, err := newMachine(cfg, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,183 @@
+package harness
+
+// Simulator-performance benchmark: the same 3D-FFT workload simulated on
+// the legacy serial engine and on the sharded parallel engine at several
+// worker counts, with wall-clock times and engine statistics written as
+// a machine-readable BENCH_sim.json record (the simulator counterpart of
+// the host-FFT BENCH_fft.json).
+//
+// Measurements are honest: the record embeds the host's GOMAXPROCS and
+// CPU count, because wall-clock speedup from workers > 1 only
+// materializes when the host actually has spare cores — on a single-CPU
+// host the sharded engine's worker handoff is pure overhead, and the
+// interesting numbers are the single-worker efficiency versus the legacy
+// engine. Simulated cycle counts are asserted identical across worker
+// counts as a built-in sanity check (the sharded engine's determinism
+// contract).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/core"
+	"xmtfft/internal/fft"
+	"xmtfft/internal/xmt"
+)
+
+// SimBenchResult is one engine/worker-count measurement (best of reps).
+type SimBenchResult struct {
+	Engine       string  `json:"engine"`  // "legacy" or "sharded"
+	Workers      int     `json:"workers"` // 0 for the legacy engine
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	Cycles       uint64  `json:"cycles"` // simulated cycles of the FFT
+	Events       uint64  `json:"events"` // engine events executed
+	EventsPerSec float64 `json:"events_per_sec"`
+	Windows      uint64  `json:"windows,omitempty"`  // sharded only
+	Messages     uint64  `json:"messages,omitempty"` // sharded only
+}
+
+// SimBenchRecord is the full BENCH_sim.json payload.
+type SimBenchRecord struct {
+	Kind       string           `json:"kind"` // "xmt-sim-bench"
+	Config     string           `json:"config"`
+	TCUs       int              `json:"tcus"`
+	N          int              `json:"n"` // points per dimension, n^3 total
+	Reps       int              `json:"reps"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	NumCPU     int              `json:"num_cpu"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Results    []SimBenchResult `json:"results"`
+	// SpeedupVsSerialDriver maps "workers=K" to the wall-clock speedup of
+	// the K-worker sharded run over the 1-worker sharded run (the
+	// apples-to-apples parallelization factor; the legacy engine differs
+	// in semantics and is reported separately, not as the baseline).
+	SpeedupVsSerialDriver map[string]float64 `json:"speedup_vs_serial_driver,omitempty"`
+	Note                  string             `json:"note,omitempty"`
+}
+
+// Write emits the record as indented JSON.
+func (r *SimBenchRecord) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// simBenchOnce runs one n^3 FFT on a fresh machine and measures it.
+func simBenchOnce(cfg config.Config, n, workers int, legacy bool) (SimBenchResult, error) {
+	var m *xmt.Machine
+	var err error
+	if legacy {
+		m, err = xmt.New(cfg)
+	} else {
+		m, err = xmt.NewParallel(cfg, workers)
+	}
+	if err != nil {
+		return SimBenchResult{}, err
+	}
+	tr, err := core.New3D(m, n, n, n)
+	if err != nil {
+		return SimBenchResult{}, err
+	}
+	for i := range tr.Data {
+		tr.Data[i] = complex(float32(i%17)-8, float32(i%11)-5)
+	}
+	begin := time.Now()
+	run, err := tr.Run(fft.Forward)
+	if err != nil {
+		return SimBenchResult{}, err
+	}
+	elapsed := time.Since(begin).Seconds()
+	st := m.SimStats()
+	res := SimBenchResult{
+		Engine: "sharded", Workers: workers, ElapsedSec: elapsed,
+		Cycles: run.TotalCycles(), Events: st.Events,
+		Windows: st.Windows, Messages: st.Messages,
+	}
+	if legacy {
+		res.Engine, res.Workers = "legacy", 0
+	}
+	if elapsed > 0 {
+		res.EventsPerSec = float64(st.Events) / elapsed
+	}
+	return res, nil
+}
+
+// RunSimBench measures the legacy engine and the sharded engine at each
+// of the given worker counts (each the best of reps runs) on an n^3 FFT
+// at the scaled 4k machine size.
+func RunSimBench(tcus, n int, workerCounts []int, reps int) (*SimBenchRecord, error) {
+	cfg, err := config.FourK().Scaled(tcus)
+	if err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	rec := &SimBenchRecord{
+		Kind: "xmt-sim-bench", Config: cfg.Name, TCUs: cfg.TCUs, N: n, Reps: reps,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	}
+	measure := func(workers int, legacy bool) (SimBenchResult, error) {
+		var best SimBenchResult
+		for r := 0; r < reps; r++ {
+			res, err := simBenchOnce(cfg, n, workers, legacy)
+			if err != nil {
+				return SimBenchResult{}, err
+			}
+			if r == 0 || res.ElapsedSec < best.ElapsedSec {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	leg, err := measure(0, true)
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results, leg)
+	var serialDriver *SimBenchResult
+	for _, wc := range workerCounts {
+		if wc < 1 {
+			return nil, fmt.Errorf("harness: sim-bench worker count %d must be >= 1", wc)
+		}
+		res, err := measure(wc, false)
+		if err != nil {
+			return nil, err
+		}
+		rec.Results = append(rec.Results, res)
+	}
+	// Determinism sanity check and speedup table over the sharded runs.
+	for i := range rec.Results {
+		r := &rec.Results[i]
+		if r.Engine == "sharded" && r.Workers == 1 {
+			serialDriver = r
+			break
+		}
+	}
+	if serialDriver != nil {
+		rec.SpeedupVsSerialDriver = map[string]float64{}
+		for _, r := range rec.Results {
+			if r.Engine != "sharded" {
+				continue
+			}
+			if r.Cycles != serialDriver.Cycles {
+				return nil, fmt.Errorf("harness: sharded runs disagree on cycles (%d vs %d) — determinism violated",
+					r.Cycles, serialDriver.Cycles)
+			}
+			if r.Workers > 1 && r.ElapsedSec > 0 {
+				rec.SpeedupVsSerialDriver[fmt.Sprintf("workers=%d", r.Workers)] =
+					serialDriver.ElapsedSec / r.ElapsedSec
+			}
+		}
+	}
+	if rec.NumCPU == 1 || rec.GoMaxProcs == 1 {
+		rec.Note = "host has a single available CPU: worker parallelism cannot yield wall-clock speedup here; re-run on a multi-core host (see CI bench job)"
+	}
+	return rec, nil
+}

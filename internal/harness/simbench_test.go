@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xmtfft/internal/config"
+)
+
+// Small sizes throughout: these are the CI-speed paths of the
+// reporting entry points; the raised production defaults live in the
+// command flags.
+
+func TestFig3DetailedWorkers(t *testing.T) {
+	for _, workers := range []int{0, 1, 2} {
+		out := render(t, func(b *bytes.Buffer) error {
+			return Fig3DetailedWorkers(b, config.FourK(), 256, 8, workers)
+		})
+		if !strings.Contains(out, "DETAILED-SIM ROOFLINE") {
+			t.Errorf("workers=%d: report missing header:\n%s", workers, out)
+		}
+	}
+}
+
+func TestAblationReportWorkers(t *testing.T) {
+	// The sharded engine must produce the same table shape; cycle values
+	// differ from the legacy engine (different canonical semantics) but
+	// the baseline row is still normalized to 1.00x.
+	out := render(t, func(b *bytes.Buffer) error {
+		_, err := AblationReportTraceWorkers(b, 256, 8, 0, 2)
+		return err
+	})
+	for _, want := range []string{"ABLATIONS", "radix 8, fine (paper)", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded ablation report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSimBench(t *testing.T) {
+	rec, err := RunSimBench(64, 4, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != "xmt-sim-bench" || rec.NumCPU < 1 || rec.GoMaxProcs < 1 {
+		t.Fatalf("bad record header: %+v", rec)
+	}
+	if len(rec.Results) != 3 { // legacy + 2 sharded
+		t.Fatalf("got %d results, want 3", len(rec.Results))
+	}
+	if rec.Results[0].Engine != "legacy" || rec.Results[0].Workers != 0 {
+		t.Fatalf("first result should be the legacy engine: %+v", rec.Results[0])
+	}
+	var shardedCycles uint64
+	for _, r := range rec.Results {
+		if r.Cycles == 0 || r.Events == 0 {
+			t.Errorf("%s workers=%d: empty measurement %+v", r.Engine, r.Workers, r)
+		}
+		if r.Engine == "sharded" {
+			if shardedCycles == 0 {
+				shardedCycles = r.Cycles
+			} else if r.Cycles != shardedCycles {
+				t.Errorf("sharded cycles diverge: %d vs %d", r.Cycles, shardedCycles)
+			}
+			if r.Windows == 0 {
+				t.Errorf("sharded run reports zero windows")
+			}
+		}
+	}
+	if _, ok := rec.SpeedupVsSerialDriver["workers=2"]; !ok {
+		t.Errorf("missing speedup entry: %+v", rec.SpeedupVsSerialDriver)
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SimBenchRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("record does not round-trip as JSON: %v", err)
+	}
+	if back.Config != rec.Config || len(back.Results) != len(rec.Results) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, rec)
+	}
+}

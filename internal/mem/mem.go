@@ -14,6 +14,14 @@
 //   - several MMs may share one DRAM controller (8/4/1 depending on the
 //     configuration), bounding off-chip bandwidth;
 //   - dirty evictions consume writeback bandwidth.
+//
+// Sharding: all mutable state and statistics are per-module or
+// per-channel, and AccessModule / PrefetchInto touch exactly one module
+// plus its channel. A caller that partitions modules so that modules
+// sharing a DRAM channel stay together (see ChannelOf) may therefore
+// drive disjoint module sets from concurrent shards without locks; the
+// aggregate statistics methods (Hits, Misses, ...) are only safe when
+// the shards are quiescent, e.g. at a synchronization barrier.
 package mem
 
 import (
@@ -69,19 +77,24 @@ type line struct {
 }
 
 // channel is one DRAM channel: a bandwidth port plus an open-row
-// register modeling the row buffer.
+// register modeling the row buffer. Statistics live here (not on the
+// System) so that shards owning disjoint channel sets never share
+// counters.
 type channel struct {
 	port    sim.Port
 	openRow uint64
 	hasRow  bool
 	// RowHits and RowMisses count row-buffer outcomes.
 	RowHits, RowMisses uint64
+	// Bytes counts DRAM traffic through this channel.
+	Bytes uint64
 }
 
 // transfer schedules one line transfer of the line containing addr,
 // returning (grant cycle, extra latency from a row activate).
 func (ch *channel) transfer(t uint64, addr uint64) (uint64, uint64) {
 	g := ch.port.GrantN(t, lineTransferCycles)
+	ch.Bytes += config.CacheLineBytes
 	row := addr / RowBytes
 	var extra uint64
 	if ch.hasRow && ch.openRow == row {
@@ -95,13 +108,20 @@ func (ch *channel) transfer(t uint64, addr uint64) (uint64, uint64) {
 	return g, extra
 }
 
-// module is one memory module: a set-associative cache slice plus a port.
+// module is one memory module: a set-associative cache slice plus a
+// port, with its own hit/miss/queueing statistics.
 type module struct {
 	port    sim.Port
 	sets    [][]line
 	setMask uint64
 	channel *channel // shared DRAM channel
 	useTick uint64
+
+	hits       uint64
+	misses     uint64
+	writebacks uint64
+	queueDelay uint64
+	prefetches uint64
 }
 
 // System is the whole memory system for one machine configuration.
@@ -117,18 +137,6 @@ type System struct {
 	// irregular patterns. Off by default so traffic accounting matches
 	// the analytic model; the prefetch ablation turns it on.
 	Prefetch bool
-	// Prefetches counts issued prefetch fills.
-	Prefetches uint64
-
-	// Statistics.
-	Hits       uint64
-	Misses     uint64
-	Writebacks uint64
-	DRAMBytes  uint64
-	// QueueDelay accumulates cycles requests spent waiting for module
-	// ports, a direct measure of the queuing the paper describes for
-	// concurrent same-module accesses.
-	QueueDelay uint64
 }
 
 // NewSystem builds the memory system for cfg. The cache geometry is
@@ -164,16 +172,46 @@ func NewSystem(cfg config.Config) (*System, error) {
 // Config returns the configuration the system was built for.
 func (s *System) Config() config.Config { return s.cfg }
 
+// Modules returns the number of memory modules.
+func (s *System) Modules() int { return len(s.modules) }
+
+// ChannelOf returns the DRAM channel index serving module mi. Shard
+// partitions must keep all modules of one channel on the same shard,
+// because the channel port and row-buffer state are shared among them.
+func (s *System) ChannelOf(mi int) int { return mi / s.cfg.MMsPerDRAMCtrl }
+
 // Access performs one word access to addr arriving at its memory module
 // at cycle t (NoC traversal time is the caller's concern) and returns
 // when it completes. Write accesses allocate on miss (fetch-on-write)
-// and mark the line dirty.
+// and mark the line dirty. This is the serial-engine entry point: with
+// prefetching enabled the miss path fills the next line immediately,
+// wherever it hashes to.
 func (s *System) Access(t uint64, addr uint64, write bool) AccessResult {
 	mi := HashAddress(addr, len(s.modules))
+	res, missStart := s.accessModule(mi, t, addr, write)
+	if s.Prefetch && !res.Hit {
+		next := addr + config.CacheLineBytes
+		s.PrefetchInto(HashAddress(next, len(s.modules)), missStart, next)
+	}
+	return res
+}
+
+// AccessModule performs one word access to addr at module mi (the
+// caller has already hashed the address), touching only that module and
+// its DRAM channel — the shard-safe request path. It never prefetches:
+// in sharded operation the next line usually lives on another shard, so
+// the caller turns the miss into a boundary message and later calls
+// PrefetchInto on the owning shard.
+func (s *System) AccessModule(mi int, t uint64, addr uint64, write bool) AccessResult {
+	res, _ := s.accessModule(mi, t, addr, write)
+	return res
+}
+
+func (s *System) accessModule(mi int, t uint64, addr uint64, write bool) (AccessResult, uint64) {
 	m := s.modules[mi]
 
 	grant := m.port.Grant(t)
-	s.QueueDelay += grant - t
+	m.queueDelay += grant - t
 
 	tag := addr / config.CacheLineBytes
 	set := m.sets[tag&m.setMask]
@@ -186,13 +224,13 @@ func (s *System) Access(t uint64, addr uint64, write bool) AccessResult {
 			if write {
 				set[i].dirty = true
 			}
-			s.Hits++
-			return AccessResult{Done: grant + CacheHitLatency, Hit: true, Module: mi}
+			m.hits++
+			return AccessResult{Done: grant + CacheHitLatency, Hit: true, Module: mi}, 0
 		}
 	}
 
 	// Miss: choose LRU victim, write back if dirty, fetch the line.
-	s.Misses++
+	m.misses++
 	victim := 0
 	for i := 1; i < len(set); i++ {
 		if !set[i].valid {
@@ -209,28 +247,23 @@ func (s *System) Access(t uint64, addr uint64, write bool) AccessResult {
 		// wait for its completion beyond channel serialization.
 		victimAddr := set[victim].tag * config.CacheLineBytes
 		m.channel.transfer(start, victimAddr)
-		s.Writebacks++
-		s.DRAMBytes += config.CacheLineBytes
+		m.writebacks++
 	}
 	fetch, activate := m.channel.transfer(start, addr)
-	s.DRAMBytes += config.CacheLineBytes
 	done := fetch + lineTransferCycles + DRAMAccessLatency + activate
 
 	set[victim] = line{tag: tag, valid: true, dirty: write, used: m.useTick}
 
-	if s.Prefetch {
-		s.prefetchLine(start, addr+config.CacheLineBytes)
-	}
-	return AccessResult{Done: done, Hit: false, Module: mi}
+	return AccessResult{Done: done, Hit: false, Module: mi}, start
 }
 
-// prefetchLine fills the line containing addr into its owning module if
-// absent (address hashing scatters consecutive lines across modules, so
-// the prefetch crosses to wherever the next line lives). The demand
-// access does not wait for it; the fill consumes channel bandwidth and
-// a cache way like any other fill.
-func (s *System) prefetchLine(t uint64, addr uint64) {
-	m := s.modules[HashAddress(addr, len(s.modules))]
+// PrefetchInto fills the line containing addr into module mi (which the
+// caller has determined by hashing) if absent, starting the channel
+// transfer at cycle t. The demand access that triggered it does not
+// wait; the fill consumes channel bandwidth and a cache way like any
+// other fill. Touches only module mi and its channel.
+func (s *System) PrefetchInto(mi int, t uint64, addr uint64) {
+	m := s.modules[mi]
 	tag := addr / config.CacheLineBytes
 	set := m.sets[tag&m.setMask]
 	for i := range set {
@@ -251,12 +284,10 @@ func (s *System) prefetchLine(t uint64, addr uint64) {
 	if set[victim].valid && set[victim].dirty {
 		victimAddr := set[victim].tag * config.CacheLineBytes
 		m.channel.transfer(t, victimAddr)
-		s.Writebacks++
-		s.DRAMBytes += config.CacheLineBytes
+		m.writebacks++
 	}
 	m.channel.transfer(t, addr)
-	s.DRAMBytes += config.CacheLineBytes
-	s.Prefetches++
+	m.prefetches++
 	m.useTick++
 	set[victim] = line{tag: tag, valid: true, used: m.useTick}
 }
@@ -272,8 +303,8 @@ func (s *System) Flush() int {
 				if l.valid && l.dirty {
 					l.dirty = false
 					n++
-					s.Writebacks++
-					s.DRAMBytes += config.CacheLineBytes
+					m.writebacks++
+					m.channel.Bytes += config.CacheLineBytes
 				}
 			}
 		}
@@ -291,6 +322,66 @@ func (s *System) Invalidate() {
 			}
 		}
 	}
+}
+
+// Aggregate statistics, summed over modules/channels on demand. Reading
+// them concurrently with shard execution is a race; call only from
+// single-threaded phases or at window barriers.
+
+// Hits returns total cache-slice hits.
+func (s *System) Hits() uint64 {
+	var n uint64
+	for _, m := range s.modules {
+		n += m.hits
+	}
+	return n
+}
+
+// Misses returns total cache-slice misses.
+func (s *System) Misses() uint64 {
+	var n uint64
+	for _, m := range s.modules {
+		n += m.misses
+	}
+	return n
+}
+
+// Writebacks returns total dirty-line writebacks.
+func (s *System) Writebacks() uint64 {
+	var n uint64
+	for _, m := range s.modules {
+		n += m.writebacks
+	}
+	return n
+}
+
+// Prefetches returns total issued prefetch fills.
+func (s *System) Prefetches() uint64 {
+	var n uint64
+	for _, m := range s.modules {
+		n += m.prefetches
+	}
+	return n
+}
+
+// DRAMBytes returns total off-chip traffic in bytes.
+func (s *System) DRAMBytes() uint64 {
+	var n uint64
+	for _, ch := range s.channels {
+		n += ch.Bytes
+	}
+	return n
+}
+
+// QueueDelay returns total cycles requests spent waiting for module
+// ports, a direct measure of the queuing the paper describes for
+// concurrent same-module accesses.
+func (s *System) QueueDelay() uint64 {
+	var n uint64
+	for _, m := range s.modules {
+		n += m.queueDelay
+	}
+	return n
 }
 
 // ChannelBusy returns total busy slots summed over DRAM channels,

@@ -92,8 +92,8 @@ func TestAccessHitMiss(t *testing.T) {
 	if got := r2.Done - r1.Done; got != CacheHitLatency {
 		t.Fatalf("hit latency = %d, want %d", got, CacheHitLatency)
 	}
-	if s.Hits != 1 || s.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", s.Hits(), s.Misses())
 	}
 }
 
@@ -121,7 +121,7 @@ func TestSameModuleQueueing(t *testing.T) {
 	if got := last - t0; got < 7+CacheHitLatency {
 		t.Fatalf("8 queued accesses finished in %d cycles; want serialization", got)
 	}
-	if s.QueueDelay == 0 {
+	if s.QueueDelay() == 0 {
 		t.Fatal("queue delay not recorded")
 	}
 }
@@ -135,7 +135,7 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 	if r.Hit {
 		t.Fatal("cold write hit")
 	}
-	base := s.DRAMBytes
+	base := s.DRAMBytes()
 	if base != config.CacheLineBytes {
 		t.Fatalf("write-allocate fetched %d bytes, want one line", base)
 	}
@@ -143,8 +143,8 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("flush wrote back %d lines, want 1", n)
 	}
-	if s.DRAMBytes != base+config.CacheLineBytes {
-		t.Fatalf("flush DRAM bytes = %d, want %d", s.DRAMBytes, base+config.CacheLineBytes)
+	if s.DRAMBytes() != base+config.CacheLineBytes {
+		t.Fatalf("flush DRAM bytes = %d, want %d", s.DRAMBytes(), base+config.CacheLineBytes)
 	}
 	if s.Flush() != 0 {
 		t.Fatal("second flush found dirty lines")
@@ -175,7 +175,7 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 		r := s.Access(t64, a, true)
 		t64 = r.Done
 	}
-	if s.Writebacks == 0 {
+	if s.Writebacks() == 0 {
 		t.Fatal("filling 5 dirty lines into a 4-way set produced no writeback")
 	}
 }
@@ -198,8 +198,8 @@ func TestStreamingVsStridedTraffic(t *testing.T) {
 		r := strided.Access(t64, uint64(i*config.CacheLineBytes*7), false)
 		t64 = r.Done
 	}
-	if strided.DRAMBytes < 6*stream.DRAMBytes {
-		t.Errorf("strided traffic %d not >> streaming traffic %d", strided.DRAMBytes, stream.DRAMBytes)
+	if strided.DRAMBytes() < 6*stream.DRAMBytes() {
+		t.Errorf("strided traffic %d not >> streaming traffic %d", strided.DRAMBytes(), stream.DRAMBytes())
 	}
 }
 
@@ -334,7 +334,7 @@ func TestPrefetcherHelpsStreaming(t *testing.T) {
 			t64 = r.Done
 			done = r.Done
 		}
-		misses = s.Misses
+		misses = s.Misses()
 		return done, misses
 	}
 	tOff, missOff := run(false)
@@ -356,12 +356,12 @@ func TestPrefetcherCountsAndOverfetch(t *testing.T) {
 		r := s.Access(t64, uint64(i)*131072+7, false)
 		t64 = r.Done
 	}
-	if s.Prefetches == 0 {
+	if s.Prefetches() == 0 {
 		t.Fatal("no prefetches recorded")
 	}
 	// Traffic exceeds pure demand (64 lines).
-	if s.DRAMBytes <= 64*config.CacheLineBytes {
-		t.Errorf("no overfetch traffic: %d bytes", s.DRAMBytes)
+	if s.DRAMBytes() <= 64*config.CacheLineBytes {
+		t.Errorf("no overfetch traffic: %d bytes", s.DRAMBytes())
 	}
 }
 

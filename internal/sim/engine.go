@@ -6,38 +6,85 @@
 // Determinism: events scheduled for the same cycle fire in the order they
 // were scheduled (FIFO within a cycle), so repeated runs of the same
 // workload produce identical cycle counts.
+//
+// Two event representations are supported. Closure events (Schedule/At)
+// are convenient for tests and ad-hoc callers. Record events (AtCall)
+// carry a Caller plus two integer arguments inline in the event record,
+// so scheduling allocates nothing: the hot simulation paths (the XMT
+// machine's segment continuations) use records exclusively. Both kinds
+// share one queue and one (time, seq) order.
 package sim
 
-import "container/heap"
+// Caller receives record events: op discriminates the action, a and b
+// are its arguments, and t is the cycle the event fires at.
+type Caller interface {
+	Call(t uint64, op uint8, a, b uint64)
+}
 
-// Event is a callback scheduled to run at a particular cycle.
+// event is one queued occurrence: either a closure (fn != nil) or a
+// pooled record dispatched through c.Call.
 type event struct {
 	time uint64 // cycle at which the event fires
 	seq  uint64 // tie-breaker preserving schedule order within a cycle
 	fn   func()
+	c    Caller
+	op   uint8
+	a, b uint64
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq).
+// container/heap is deliberately not used: its interface methods box
+// every pushed and popped element in an interface value, allocating on
+// each operation; with millions of events per run the boxing dominates
+// the engine's cost (see BenchmarkEngineSchedule).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop closure reference for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Hook observes simulation-clock advances. It fires after the engine
@@ -71,7 +118,7 @@ func (e *Engine) Now() uint64 { return e.now }
 // cycle, after already-pending same-cycle events).
 func (e *Engine) Schedule(delay uint64, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{time: e.now + delay, seq: e.seq, fn: fn})
+	e.events.push(event{time: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // At runs fn at the absolute cycle t. Scheduling in the past panics: it
@@ -81,7 +128,20 @@ func (e *Engine) At(t uint64, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
+}
+
+// AtCall schedules the record event (op, a, b) on c at the absolute
+// cycle t. It is the allocation-free counterpart of At: the record is
+// stored inline in the queue, so steady-state scheduling costs no heap
+// traffic. Ordering is identical to At — records and closures share one
+// (time, seq) sequence.
+func (e *Engine) AtCall(t uint64, c Caller, op uint8, a, b uint64) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	e.events.push(event{time: t, seq: e.seq, c: c, op: op, a: a, b: b})
 }
 
 // Pending reports the number of queued events.
@@ -99,13 +159,17 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	if e.hook != nil && ev.time > e.now {
 		e.hook.Advance(e.now, ev.time)
 	}
 	e.now = ev.time
 	e.Processed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.c.Call(ev.time, ev.op, ev.a, ev.b)
+	}
 	return true
 }
 

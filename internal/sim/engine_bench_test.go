@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// The schedule/dispatch hot path, in both forms. The closure form
+// allocates per event (closure capture); the record form (AtCall) stays
+// allocation-free in steady state — run with -benchmem to see the pair:
+//
+//	go test ./internal/sim -bench=EngineSchedule -benchmem
+type benchCaller struct{ sum uint64 }
+
+func (c *benchCaller) Call(t uint64, op uint8, a, b uint64) { c.sum += a }
+
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	e := New()
+	var sum uint64
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			v := uint64(j)
+			e.At(base+uint64(j%16), func() { sum += v })
+		}
+		e.Run()
+	}
+	_ = sum
+}
+
+func BenchmarkEngineScheduleRecord(b *testing.B) {
+	e := New()
+	c := &benchCaller{}
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			e.AtCall(base+uint64(j%16), c, 0, uint64(j), 0)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkShardSchedule measures the sharded engine's calendar-queue
+// path for comparison with the binary heap above.
+func BenchmarkShardSchedule(b *testing.B) {
+	e := NewParallelEngine(staticPartition{1, 16}, 1)
+	var sum uint64
+	e.SetHandler(0, handlerFunc(func(sh *Shard, t uint64, op uint8, a, bb uint64) {
+		sum += a
+	}))
+	sh := e.Shard(0)
+	const batch = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		base := e.Now()
+		for j := 0; j < batch; j++ {
+			sh.At(base+uint64(j%16), 0, uint64(j), 0)
+		}
+		e.Run()
+	}
+	_ = sum
+}

@@ -1,0 +1,473 @@
+package sim
+
+// Conservative parallel discrete-event simulation (PDES) with time
+// windows. State is partitioned into shards that interact only through
+// boundary messages: within a window [T, T+W) every shard executes its
+// local events independently, and at the window barrier the coordinator
+// merges all emitted messages in deterministic (time, shard, seq) order
+// and converts them into future events. W (the lookahead) must not
+// exceed the minimum cross-shard effect latency, so no message ever
+// needs to take effect inside the window it was sent in — the classic
+// conservative-synchronization safety condition. Under that condition
+// the serial driver (shards advanced one after another) and the
+// parallel driver (shards advanced on worker goroutines) execute the
+// exact same events in the exact same per-shard order with the exact
+// same barrier merges, making cycle counts and statistics bit-identical
+// for every worker count. See DESIGN.md §7.
+//
+// Per-shard pending events live in a calendar/bucket queue: a ring of
+// per-cycle FIFO buckets over a fixed horizon with a min-heap overflow
+// for far-future events. Scheduling and popping are O(1) amortized and
+// allocation-free in steady state, replacing the global binary heap of
+// the serial engine.
+
+// Message is one cross-shard event, emitted by a shard during a window
+// and delivered to the coordinator's barrier function at the end of that
+// window. Kind and the operand fields are opaque to the engine; Time,
+// Src and seq define the deterministic merge order.
+type Message struct {
+	Time       uint64 // sending event's cycle
+	Src        int32  // sending shard
+	Kind       uint8
+	seq        uint64 // per-shard send sequence, the within-cycle tiebreak
+	A, B, C, D uint64
+}
+
+// ShardHandler executes one shard's events. Implementations receive the
+// owning shard so they can schedule follow-up local events (Shard.At)
+// and emit cross-shard messages (Shard.Send).
+type ShardHandler interface {
+	// Event fires one local event at cycle t.
+	Event(sh *Shard, t uint64, op uint8, a, b uint64)
+}
+
+// Partition routes model entities to shards and states the model's
+// lookahead; the engine takes its shard count and window width from it.
+type Partition interface {
+	// Shards returns the number of state shards.
+	Shards() int
+	// Lookahead returns the conservative window width W in cycles: a
+	// lower bound on the delay between a cross-shard message being sent
+	// and its earliest effect. Must be at least 1.
+	Lookahead() uint64
+}
+
+// evRec is one pooled event record in a shard queue.
+type evRec struct {
+	time uint64
+	seq  uint64 // insertion order, used by the overflow heap tiebreak
+	op   uint8
+	a, b uint64
+}
+
+// horizonCycles is the bucket ring span. Events further out than this go
+// to the overflow heap; with DRAM round-trips around 130 cycles nearly
+// all traffic stays in the ring.
+const horizonCycles = 2048
+
+// bucketQueue is a calendar queue: per-cycle FIFO buckets over
+// [base, base+horizon) plus a (time, seq) min-heap for events beyond the
+// horizon. base only moves forward, so each bucket holds events of
+// exactly one cycle at a time.
+type bucketQueue struct {
+	buckets  [horizonCycles][]evRec
+	base     uint64 // all queued events have time >= base
+	scan     uint64 // first cycle possibly holding a bucketed event
+	count    int    // bucketed + overflow
+	bucketed int
+	overflow recHeap
+	seq      uint64
+}
+
+func (q *bucketQueue) push(t uint64, op uint8, a, b uint64) {
+	q.seq++
+	r := evRec{time: t, seq: q.seq, op: op, a: a, b: b}
+	if t < q.base+horizonCycles {
+		i := t % horizonCycles
+		q.buckets[i] = append(q.buckets[i], r)
+		q.bucketed++
+		if t < q.scan {
+			q.scan = t
+		}
+	} else {
+		q.overflow.push(r)
+	}
+	q.count++
+}
+
+// min returns the earliest queued event time; ok is false when empty.
+func (q *bucketQueue) min() (uint64, bool) {
+	if q.count == 0 {
+		return 0, false
+	}
+	best := ^uint64(0)
+	if q.bucketed > 0 {
+		for len(q.buckets[q.scan%horizonCycles]) == 0 {
+			q.scan++
+		}
+		best = q.scan
+	}
+	if len(q.overflow) > 0 && q.overflow[0].time < best {
+		best = q.overflow[0].time
+	}
+	return best, true
+}
+
+// advanceBase moves the ring floor to t (all events below t must already
+// be executed) and promotes overflow events that now fit the horizon, in
+// (time, seq) order so FIFO-within-cycle is preserved.
+func (q *bucketQueue) advanceBase(t uint64) {
+	if t <= q.base {
+		return
+	}
+	q.base = t
+	if q.scan < t {
+		q.scan = t
+	}
+	for len(q.overflow) > 0 && q.overflow[0].time < q.base+horizonCycles {
+		r := q.overflow.pop()
+		q.buckets[r.time%horizonCycles] = append(q.buckets[r.time%horizonCycles], r)
+		q.bucketed++
+		if r.time < q.scan {
+			q.scan = r.time
+		}
+	}
+}
+
+// recHeap is a (time, seq) min-heap for overflow events.
+type recHeap []evRec
+
+func (h recHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *recHeap) push(r evRec) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *recHeap) pop() evRec {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// Shard is one partition of simulation state: a clock, a calendar queue
+// of pending local events, and an outbox of messages for the next
+// barrier. During a window a shard is touched only by its own handler
+// (possibly on a worker goroutine); between windows only by the
+// coordinator.
+type Shard struct {
+	ID int
+
+	handler ShardHandler
+	now     uint64
+	q       bucketQueue
+	out     []Message
+	sendSeq uint64
+	// Processed counts events executed on this shard.
+	Processed uint64
+}
+
+// Now returns the shard's current cycle.
+func (s *Shard) Now() uint64 { return s.now }
+
+// Pending reports the number of events queued on this shard.
+func (s *Shard) Pending() int { return s.q.count }
+
+// At schedules a local event at the absolute cycle t. Scheduling in the
+// shard's past panics — inside a window that means before the event
+// currently executing; from the coordinator it means before the window
+// barrier, which would violate the lookahead contract.
+func (s *Shard) At(t uint64, op uint8, a, b uint64) {
+	if t < s.now {
+		panic("sim: scheduling shard event in the past")
+	}
+	s.q.push(t, op, a, b)
+}
+
+// Send emits a cross-shard message, delivered to the engine's barrier
+// function at the end of the current window. The message is stamped with
+// the sending event's cycle and a per-shard sequence number, which
+// together with the shard ID define the deterministic merge order.
+func (s *Shard) Send(kind uint8, a, b, c, d uint64) {
+	s.sendSeq++
+	s.out = append(s.out, Message{
+		Time: s.now, Src: int32(s.ID), Kind: kind, seq: s.sendSeq,
+		A: a, B: b, C: c, D: d,
+	})
+}
+
+// runWindow executes this shard's events with time in [start, end),
+// leaving the shard clock at end.
+func (s *Shard) runWindow(start, end uint64) {
+	q := &s.q
+	if s.now < start {
+		s.now = start
+	}
+	// start is the global minimum pending time, so no event precedes it
+	// and the ring floor may advance to it, promoting any overflow events
+	// that now fall within the horizon (which covers the whole window:
+	// window < horizon is checked at construction).
+	q.advanceBase(start)
+	for q.bucketed > 0 {
+		t, ok := q.min()
+		if !ok || t >= end {
+			break
+		}
+		s.now = t
+		b := t % horizonCycles
+		// Index the bucket fresh each iteration: the handler may append
+		// same-cycle events, growing (and possibly reallocating) it.
+		for j := 0; j < len(q.buckets[b]); j++ {
+			r := q.buckets[b][j]
+			s.Processed++
+			s.handler.Event(s, t, r.op, r.a, r.b)
+		}
+		n := len(q.buckets[b])
+		q.buckets[b] = q.buckets[b][:0]
+		q.bucketed -= n
+		q.count -= n
+	}
+	s.now = end
+	q.advanceBase(end)
+}
+
+// ParallelEngine advances a set of shards under conservative time
+// windows. Construct with NewParallelEngine, assign a handler per shard
+// and a barrier function, then call Run. The engine is quiescent between
+// Run calls; Workers only changes wall-clock behaviour, never results.
+type ParallelEngine struct {
+	shards  []Shard
+	window  uint64
+	barrier func([]Message)
+	hook    Hook
+	now     uint64
+
+	// Workers is the number of goroutines advancing shards inside a
+	// window (values < 2 select the inline serial driver). Because shard
+	// execution is identical either way, results do not depend on it.
+	Workers int
+
+	// Window/merge statistics for perf diagnostics.
+	Windows  uint64
+	Messages uint64
+
+	merged []Message
+	// mergeBuckets is the per-cycle scatter space of collect, one bucket
+	// per window cycle, reused across windows.
+	mergeBuckets [][]Message
+}
+
+// NewParallelEngine builds an engine for p's shard count and lookahead.
+func NewParallelEngine(p Partition, workers int) *ParallelEngine {
+	n := p.Shards()
+	w := p.Lookahead()
+	if n <= 0 {
+		panic("sim: partition must have at least one shard")
+	}
+	if w == 0 || w >= horizonCycles {
+		panic("sim: lookahead window must be in [1, horizon)")
+	}
+	e := &ParallelEngine{shards: make([]Shard, n), window: w, Workers: workers}
+	for i := range e.shards {
+		e.shards[i].ID = i
+	}
+	return e
+}
+
+// Shard returns shard i, for handler assignment and event insertion by
+// the coordinator (only between windows).
+func (e *ParallelEngine) Shard(i int) *Shard { return &e.shards[i] }
+
+// Shards returns the shard count.
+func (e *ParallelEngine) Shards() int { return len(e.shards) }
+
+// Window returns the lookahead window width in cycles.
+func (e *ParallelEngine) Window() uint64 { return e.window }
+
+// SetHandler assigns the event handler of shard i.
+func (e *ParallelEngine) SetHandler(i int, h ShardHandler) { e.shards[i].handler = h }
+
+// SetBarrier assigns the coordinator function invoked after every window
+// that produced messages, with the merged batch in (time, shard, seq)
+// order. The barrier runs single-threaded and may schedule events on any
+// shard via Shard.At, at cycles no earlier than the barrier time.
+func (e *ParallelEngine) SetBarrier(f func([]Message)) { e.barrier = f }
+
+// SetHook installs a clock observer, fired once per window with the
+// window's bounds after the window's events have executed.
+func (e *ParallelEngine) SetHook(h Hook) { e.hook = h }
+
+// Now returns the engine clock: the end of the last completed window.
+func (e *ParallelEngine) Now() uint64 { return e.now }
+
+// Pending reports the total number of queued events across shards.
+func (e *ParallelEngine) Pending() int {
+	n := 0
+	for i := range e.shards {
+		n += e.shards[i].q.count
+	}
+	return n
+}
+
+// minNext returns the earliest pending event time across shards.
+func (e *ParallelEngine) minNext() (uint64, bool) {
+	best := ^uint64(0)
+	ok := false
+	for i := range e.shards {
+		if t, has := e.shards[i].q.min(); has && t < best {
+			best = t
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Run advances windows until no shard has pending events, then returns
+// the engine clock. The first window starts at the earliest pending
+// event (idle gaps are skipped, so sparse schedules don't pay per-cycle
+// costs).
+func (e *ParallelEngine) Run() uint64 {
+	workers := e.Workers
+	if workers > len(e.shards) {
+		workers = len(e.shards)
+	}
+	var starts []chan [2]uint64
+	var done chan struct{}
+	if workers > 1 {
+		starts = make([]chan [2]uint64, workers)
+		done = make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			starts[w] = make(chan [2]uint64, 1)
+			go func(w int) {
+				for win := range starts[w] {
+					for si := w; si < len(e.shards); si += workers {
+						e.shards[si].runWindow(win[0], win[1])
+					}
+					done <- struct{}{}
+				}
+			}(w)
+		}
+		defer func() {
+			for _, c := range starts {
+				close(c)
+			}
+		}()
+	}
+
+	for {
+		start, ok := e.minNext()
+		if !ok {
+			return e.now
+		}
+		end := start + e.window
+		e.Windows++
+		if workers > 1 {
+			for _, c := range starts {
+				c <- [2]uint64{start, end}
+			}
+			for range starts {
+				<-done
+			}
+		} else {
+			for i := range e.shards {
+				e.shards[i].runWindow(start, end)
+			}
+		}
+		prev := e.now
+		e.now = end
+		if e.hook != nil {
+			e.hook.Advance(prev, end)
+		}
+		if msgs := e.collect(start); len(msgs) > 0 {
+			e.Messages += uint64(len(msgs))
+			e.barrier(msgs)
+		}
+	}
+}
+
+// AdvanceTo moves the quiescent engine's clock (and every shard's) to t,
+// firing the hook across the gap. It panics if events are pending: it
+// models serial time passing between parallel sections, not event
+// execution.
+func (e *ParallelEngine) AdvanceTo(t uint64) {
+	if e.Pending() != 0 {
+		panic("sim: AdvanceTo with pending events")
+	}
+	if t < e.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	for i := range e.shards {
+		if e.shards[i].now < t {
+			e.shards[i].now = t
+		}
+		e.shards[i].q.advanceBase(t)
+	}
+	if t > e.now {
+		if e.hook != nil {
+			e.hook.Advance(e.now, t)
+		}
+		e.now = t
+	}
+}
+
+// collect gathers all shard outboxes into one batch in (time, shard,
+// seq) order — a total order, since seq is unique per shard — and clears
+// the outboxes. No comparison sort is needed: every message's time lies
+// in the just-finished window [start, start+W) (Send stamps the sending
+// event's cycle), each outbox is already (time, seq)-sorted because a
+// shard executes events in nondecreasing time order, and shards are
+// visited in index order — so scattering into one bucket per window
+// cycle and concatenating yields the exact merge order in O(messages).
+func (e *ParallelEngine) collect(start uint64) []Message {
+	if e.mergeBuckets == nil {
+		e.mergeBuckets = make([][]Message, e.window)
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for _, msg := range sh.out {
+			b := msg.Time - start
+			e.mergeBuckets[b] = append(e.mergeBuckets[b], msg)
+		}
+		sh.out = sh.out[:0]
+	}
+	m := e.merged[:0]
+	for b := range e.mergeBuckets {
+		m = append(m, e.mergeBuckets[b]...)
+		e.mergeBuckets[b] = e.mergeBuckets[b][:0]
+	}
+	e.merged = m
+	return m
+}

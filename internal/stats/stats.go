@@ -221,6 +221,28 @@ func (h *Histogram) Observe(v uint64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Merge folds all of o's samples into h. The bucket widths must match:
+// merging histograms of different granularity would silently misbucket.
+// Used to reduce per-shard recorder histograms into one stream at a
+// parallel section's join.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.BucketWidth != h.BucketWidth {
+		panic("stats: merging histograms with different bucket widths")
+	}
+	for i, n := range o.counts {
+		h.counts[i] += n
+	}
+	h.total += o.total
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Mean returns the sample mean (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

@@ -80,6 +80,15 @@ type Machine struct {
 	nextTh      int
 	outstanding int
 	lastDone    uint64 // completion time of the latest op (incl. stores)
+
+	// tcus holds the per-TCU execution state, reused across spawns so the
+	// record-event scheduling path (sim.Caller) can address TCUs by index
+	// without per-event closures.
+	tcus []tcuState
+
+	// par is non-nil when the machine runs on the sharded parallel engine
+	// (NewParallel); the legacy single-queue path above is bypassed.
+	par *shardedMachine
 }
 
 // New builds a machine for cfg with a fresh memory system and network.
@@ -122,7 +131,42 @@ func (m *Machine) Memory() *mem.System { return m.memory }
 func (m *Machine) Network() noc.Network { return m.network }
 
 // Now returns the machine's current cycle.
-func (m *Machine) Now() uint64 { return m.engine.Now() }
+func (m *Machine) Now() uint64 {
+	if m.par != nil {
+		return m.par.now
+	}
+	return m.engine.Now()
+}
+
+// Workers returns the simulation worker count: 0 for the legacy serial
+// engine, >= 1 for the sharded engine (1 being its serial driver).
+func (m *Machine) Workers() int {
+	if m.par == nil {
+		return 0
+	}
+	return m.par.eng.Workers
+}
+
+// SimStats reports engine-level execution statistics: events executed
+// and, on the sharded engine, windows advanced and boundary messages
+// merged. Purely diagnostic — used by the simulator benchmark record.
+type SimStats struct {
+	Events   uint64
+	Windows  uint64
+	Messages uint64
+}
+
+// SimStats returns the machine's engine statistics so far.
+func (m *Machine) SimStats() SimStats {
+	if m.par != nil {
+		s := SimStats{Windows: m.par.eng.Windows, Messages: m.par.eng.Messages}
+		for i := 0; i < m.par.eng.Shards(); i++ {
+			s.Events += m.par.eng.Shard(i).Processed
+		}
+		return s
+	}
+	return SimStats{Events: m.engine.Processed}
+}
 
 // AttachRecorder connects a trace recorder (nil detaches). When the
 // recorder has a non-zero Epoch, an epoch sampler is installed as the
@@ -134,9 +178,16 @@ func (m *Machine) AttachRecorder(r *trace.Recorder) {
 	m.pendingLabel = ""
 	if r != nil && r.Epoch > 0 {
 		m.sampler = newEpochSampler(m, r)
-		m.engine.SetHook(m.sampler)
 	} else {
 		m.sampler = nil
+	}
+	if m.par != nil {
+		m.par.setRecorder(r, m.sampler)
+		return
+	}
+	if m.sampler != nil {
+		m.engine.SetHook(m.sampler)
+	} else {
 		m.engine.SetHook(nil)
 	}
 }
@@ -156,6 +207,10 @@ func (m *Machine) Section(name string) {
 // AdvanceSerial models serial-mode MTCU work of the given length
 // (e.g. setup between parallel sections).
 func (m *Machine) AdvanceSerial(cycles uint64) {
+	if m.par != nil {
+		m.par.advance(cycles)
+		return
+	}
 	m.engine.RunUntil(m.engine.Now() + cycles)
 }
 
@@ -193,6 +248,9 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 	if m.outstanding != 0 || m.prog != nil {
 		return SpawnResult{}, fmt.Errorf("xmt: spawn while a parallel section is active")
 	}
+	if m.par != nil {
+		return m.par.spawn(n, prog)
+	}
 	m.syncMemCounters()
 	before := m.Counters
 	snap := m.Snapshot()
@@ -212,12 +270,18 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 		wave = n
 	}
 	m.outstanding = wave
+	if len(m.tcus) < wave {
+		m.tcus = append(m.tcus, make([]tcuState, wave-len(m.tcus))...)
+		for i := range m.tcus {
+			m.tcus[i].id = i
+			m.tcus[i].cluster = i / m.cfg.TCUsPerCluster
+		}
+	}
 	begin := start + SpawnBroadcastLatency
 	for i := 0; i < wave; i++ {
-		tcu := &tcuState{id: i, cluster: i / m.cfg.TCUsPerCluster}
 		tid := m.nextTh
 		m.nextTh++
-		m.engine.At(begin, func() { m.runThread(tcu, tid) })
+		m.engine.AtCall(begin, m, opStart, uint64(i), uint64(tid))
 	}
 	m.engine.Run()
 
@@ -246,9 +310,9 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 // deltas (and the machine totals) always agree with the subsystems that
 // own the counts.
 func (m *Machine) syncMemCounters() {
-	m.Counters.DRAMBytes = m.memory.DRAMBytes
+	m.Counters.DRAMBytes = m.memory.DRAMBytes()
 	m.Counters.NoCPackets = m.network.Packets()
-	m.Counters.Prefetches = m.memory.Prefetches
+	m.Counters.Prefetches = m.memory.Prefetches()
 	m.Counters.RowHits, m.Counters.RowMisses = m.memory.RowBufferStats()
 }
 
@@ -260,6 +324,12 @@ func (m *Machine) syncMemCounters() {
 // up by TCUs through the same prefix-sum allocation path as the
 // original thread range.
 func (m *Machine) ExtendSpawn(k int) (int, error) {
+	if m.par != nil {
+		// Threads run concurrently on worker goroutines in sharded mode;
+		// letting them grow the shared id space mid-flight would race.
+		// The ISA VM (the only sspawn user) runs on the legacy engine.
+		return 0, fmt.Errorf("xmt: ExtendSpawn is not supported on the sharded parallel engine")
+	}
 	if m.prog == nil {
 		return 0, fmt.Errorf("xmt: ExtendSpawn outside a parallel section")
 	}
@@ -408,12 +478,32 @@ func (m *Machine) countHit(hit bool) {
 	}
 }
 
+// Record-event opcodes dispatched through Call (sim.Caller). Using
+// pooled records instead of closures keeps the hot scheduling paths
+// allocation-free; see BenchmarkEngineSchedule in internal/sim.
+const (
+	opStart uint8 = iota // a = TCU index, b = thread id: runThread
+	opExec               // a = TCU index, b = op index: execSegments
+)
+
+// Call implements sim.Caller, dispatching pooled record events.
+func (m *Machine) Call(t uint64, op uint8, a, b uint64) {
+	switch op {
+	case opStart:
+		m.runThread(&m.tcus[a], int(b))
+	case opExec:
+		m.execSegments(&m.tcus[a], int(b), t)
+	default:
+		panic(fmt.Sprintf("xmt: unknown event op %d", op))
+	}
+}
+
 // schedule resumes thread execution at index i at cycle "at".
 func (m *Machine) schedule(t *tcuState, i int, at uint64) {
 	if at < m.engine.Now() {
 		at = m.engine.Now()
 	}
-	m.engine.At(at, func() { m.execSegments(t, i, at) })
+	m.engine.AtCall(at, m, opExec, uint64(t.id), uint64(i))
 }
 
 // threadDone records completion and allocates the TCU's next thread via
@@ -431,7 +521,7 @@ func (m *Machine) threadDone(t *tcuState, now uint64) {
 		tid := m.nextTh
 		m.nextTh++
 		m.Counters.PSOps++
-		m.engine.At(now+PSLatency, func() { m.runThread(t, tid) })
+		m.engine.AtCall(now+PSLatency, m, opStart, uint64(t.id), uint64(tid))
 		return
 	}
 	m.outstanding--
@@ -440,7 +530,7 @@ func (m *Machine) threadDone(t *tcuState, now uint64) {
 // DRAMUtilization returns the fraction of total DRAM channel slots busy
 // over the machine's lifetime so far.
 func (m *Machine) DRAMUtilization() float64 {
-	cycles := m.engine.Now()
+	cycles := m.Now()
 	if cycles == 0 {
 		return 0
 	}

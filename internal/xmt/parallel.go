@@ -1,0 +1,497 @@
+package xmt
+
+// Sharded execution of the XMT machine on sim.ParallelEngine: one shard
+// per cluster, with each shard also owning the memory modules of zero or
+// more whole DRAM channels. Everything a shard touches during a window
+// is shard-local — its cluster's ports and TCU states, its modules'
+// caches and channels, its counters and trace recorder. Interactions
+// that cross clusters are exactly the interactions that cross the real
+// machine's NoC or prefix-sum unit, and they become boundary messages:
+//
+//	msgMemReq     load/store leaving a cluster LSU for a memory module
+//	msgLoadDone   load value arriving back at the requesting TCU
+//	msgThreadDone TCU asking the prefix-sum unit for its next thread id
+//	msgPrefetch   next-line prefetch crossing to the line's home module
+//
+// The coordinator (the engine's barrier function) converts each message
+// into a future event on the destination shard. The lookahead window is
+// min(NoC one-way latency, PSLatency), so every cross-shard effect lands
+// at or after the barrier that delivers it — the conservative-PDES
+// safety condition. Because the window sequence, per-shard event order
+// and barrier merge order are all deterministic, a run's cycle counts,
+// counters and trace streams are bit-identical for every worker count,
+// which the differential tests assert. See DESIGN.md §7 for why this
+// model is a (deliberately) different canonical semantics than the
+// legacy serial engine's global-FIFO tie-breaking.
+//
+// Programs executed in sharded mode must be safe for concurrent
+// Program.Thread calls (see Program); the FFT kernels are, by the PRAM
+// independence contract.
+
+import (
+	"fmt"
+	"runtime"
+
+	"xmtfft/internal/config"
+	"xmtfft/internal/mem"
+	"xmtfft/internal/sim"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
+)
+
+// Boundary message kinds (sim.Message.Kind).
+const (
+	// msgMemReq: A=LSU issue cycle, B=address,
+	// C = src cluster | dst module<<16 | write<<32, D = TCU id.
+	msgMemReq uint8 = iota
+	// msgLoadDone: A=arrival cycle back at the cluster, D = TCU id.
+	msgLoadDone
+	// msgThreadDone: A=completion cycle, D = TCU id. (Completion may be
+	// later than Message.Time when trailing ALU ops ran inline.)
+	msgThreadDone
+	// msgPrefetch: Time=demand-miss cycle, A=address, B=dst module.
+	msgPrefetch
+)
+
+// Shard event opcodes.
+const (
+	// sopStart: a = local TCU index, b = thread id.
+	sopStart uint8 = iota
+	// sopResume: a = local TCU index, b = op index to resume at.
+	sopResume
+	// sopMemAccess: a = address, b = module | TCU<<16 | write<<62.
+	sopMemAccess
+	// sopPrefetch: a = address, b = module.
+	sopPrefetch
+)
+
+// shardTCU is one TCU's execution state on its owning shard.
+type shardTCU struct {
+	id  int // global TCU id
+	tid int
+	buf []Op
+	// Load-group wait state: the thread parks after sending its load
+	// requests and resumes at op index i when all waiting replies are in.
+	i        int
+	segStart uint64
+	waiting  int
+	maxRet   uint64
+}
+
+// machineShard is one cluster plus its owned memory channels; it
+// implements sim.ShardHandler. Fields are touched only by the shard's
+// own events during windows and by the coordinator between windows.
+type machineShard struct {
+	sm *shardedMachine
+	id int // cluster index == shard index
+
+	fpu, lsu, mdu sim.Port
+	tcus          []shardTCU
+
+	counters stats.Counters
+	lastDone uint64          // thread and store completions on this shard
+	rec      *trace.Recorder // per-spawn recorder; nil when not tracing
+}
+
+// shardedMachine drives a Machine on the windowed parallel engine.
+type shardedMachine struct {
+	m           *Machine
+	eng         *sim.ParallelEngine
+	shards      []*machineShard
+	moduleOwner []int32
+	window      uint64
+	replyLat    uint64 // uncontended reply latency (replies never contend)
+	now         uint64
+	psOps       uint64 // cumulative thread re-allocation prefix-sums
+
+	// coordRec collects coordinator-side trace events (NoC traversals)
+	// during a spawn; merged with the shard recorders at the join.
+	coordRec *trace.Recorder
+}
+
+// Shards implements sim.Partition: one shard per cluster.
+func (sm *shardedMachine) Shards() int { return sm.m.cfg.Clusters }
+
+// Lookahead implements sim.Partition: the minimum delay between a
+// cross-shard message and its earliest effect. Requests and replies
+// cross the NoC (>= one-way latency); thread re-allocation crosses the
+// prefix-sum unit (PSLatency). The window is their minimum.
+func (sm *shardedMachine) Lookahead() uint64 { return sm.window }
+
+// NewParallel builds a machine that simulates on the sharded parallel
+// engine with the given worker count (<= 0 selects GOMAXPROCS; 1 is the
+// serial driver of the same windowed execution, useful as the reference
+// side of differential tests). Simulation results are identical for
+// every worker count; only wall-clock time changes.
+func NewParallel(cfg config.Config, workers int) (*Machine, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sm := &shardedMachine{m: m, replyLat: m.network.Latency()}
+	sm.window = sm.replyLat
+	if sm.window > PSLatency {
+		sm.window = PSLatency
+	}
+	if sm.window == 0 {
+		return nil, fmt.Errorf("xmt: configuration %q has zero NoC latency", cfg.Name)
+	}
+	sm.eng = sim.NewParallelEngine(sm, workers)
+	sm.eng.SetBarrier(sm.onBarrier)
+	sm.shards = make([]*machineShard, cfg.Clusters)
+	for i := range sm.shards {
+		sh := &machineShard{
+			sm:   sm,
+			id:   i,
+			fpu:  sim.Port{Width: uint64(cfg.FPUsPerCluster)},
+			lsu:  sim.Port{Width: uint64(cfg.LSUsPerCluster)},
+			mdu:  sim.Port{Width: uint64(cfg.MDUsPerCluster)},
+			tcus: make([]shardTCU, cfg.TCUsPerCluster),
+		}
+		for j := range sh.tcus {
+			sh.tcus[j].id = i*cfg.TCUsPerCluster + j
+		}
+		sm.shards[i] = sh
+		sm.eng.SetHandler(i, sh)
+	}
+	// Modules sharing a DRAM channel share mutable channel state (port,
+	// open row), so whole channels are assigned to shards.
+	sm.moduleOwner = make([]int32, cfg.MemModules)
+	for mi := range sm.moduleOwner {
+		sm.moduleOwner[mi] = int32(m.memory.ChannelOf(mi) % cfg.Clusters)
+	}
+	m.par = sm
+	return m, nil
+}
+
+// setRecorder wires the epoch sampler (or removes it) as the window
+// hook; samples are taken at window barriers, where all shards are
+// parked and machine-wide state is consistent.
+func (sm *shardedMachine) setRecorder(r *trace.Recorder, sampler *epochSampler) {
+	if sampler != nil {
+		sm.eng.SetHook(sampler)
+	} else {
+		sm.eng.SetHook(nil)
+	}
+}
+
+// advance models serial-mode MTCU work between parallel sections.
+func (sm *shardedMachine) advance(cycles uint64) {
+	sm.eng.AdvanceTo(sm.now + cycles)
+	sm.now += cycles
+}
+
+// tcuOf returns the shard and local index of a global TCU id.
+func (sm *shardedMachine) tcuOf(tcu int) (*machineShard, int) {
+	per := sm.m.cfg.TCUsPerCluster
+	return sm.shards[tcu/per], tcu % per
+}
+
+// spawn runs one parallel section to completion on the sharded engine.
+// Validation (n >= 0, no active section) happened in Machine.Spawn.
+func (sm *shardedMachine) spawn(n int, prog Program) (SpawnResult, error) {
+	m := sm.m
+	m.syncMemCounters()
+	before := m.Counters
+	snap := m.Snapshot()
+	start := sm.now
+	m.prog = prog
+	m.totalTh = n
+	m.nextTh = 0
+	m.Counters.Spawns++
+	if m.rec != nil {
+		m.rec.Spawn(start, n, m.pendingLabel)
+		m.pendingLabel = ""
+		sm.coordRec = trace.NewRecorder(0)
+		for _, sh := range sm.shards {
+			sh.rec = trace.NewRecorder(0)
+		}
+	}
+	for _, sh := range sm.shards {
+		sh.lastDone = 0
+	}
+
+	wave := m.cfg.TCUs
+	if n < wave {
+		wave = n
+	}
+	m.outstanding = wave
+	begin := start + SpawnBroadcastLatency
+	for i := 0; i < wave; i++ {
+		tid := m.nextTh
+		m.nextTh++
+		sh, local := sm.tcuOf(i)
+		sm.eng.Shard(sh.id).At(begin, sopStart, uint64(local), uint64(tid))
+	}
+	sm.eng.Run()
+
+	end := begin
+	for _, sh := range sm.shards {
+		if sh.lastDone > end {
+			end = sh.lastDone
+		}
+	}
+	end += JoinLatency
+	// Advance every shard's clock through the join.
+	sm.eng.AdvanceTo(end)
+	sm.now = end
+	m.prog = nil
+
+	sm.reduceCounters()
+	m.syncMemCounters()
+	if m.rec != nil {
+		parts := make([]*trace.Recorder, 0, len(sm.shards)+1)
+		for _, sh := range sm.shards {
+			parts = append(parts, sh.rec)
+			sh.rec = nil
+		}
+		parts = append(parts, sm.coordRec)
+		sm.coordRec = nil
+		m.rec.MergeFrom(parts...)
+		m.rec.Join(end)
+	}
+	ops := m.Counters
+	subtract(&ops, before)
+	u := m.UtilizationSince(snap)
+	return SpawnResult{Start: start, End: end, Threads: n, Ops: ops,
+		Util: stats.Util{FPU: u.FPU, LSU: u.LSU, DRAM: u.DRAM}}, nil
+}
+
+// reduceCounters rebuilds the machine's shard-summed counters. The
+// shard counters are cumulative over the machine's lifetime, so this is
+// a pure deterministic reduction, valid whenever the shards are parked.
+func (sm *shardedMachine) reduceCounters() {
+	c := &sm.m.Counters
+	c.FPOps, c.ALUOps, c.Loads, c.Stores, c.Threads = 0, 0, 0, 0, 0
+	c.CacheHits, c.CacheMisses = 0, 0
+	c.PSOps = sm.psOps
+	for _, sh := range sm.shards {
+		c.FPOps += sh.counters.FPOps
+		c.ALUOps += sh.counters.ALUOps
+		c.Loads += sh.counters.Loads
+		c.Stores += sh.counters.Stores
+		c.Threads += sh.counters.Threads
+		c.PSOps += sh.counters.PSOps
+		c.CacheHits += sh.counters.CacheHits
+		c.CacheMisses += sh.counters.CacheMisses
+	}
+}
+
+// onBarrier is the coordinator: it receives every window's messages in
+// deterministic (time, shard, seq) order and turns them into future
+// events. It is the only place the shared network object is touched, so
+// the NoC's internal state (hybrid switch ports, packet counter) needs
+// no locking.
+func (sm *shardedMachine) onBarrier(msgs []sim.Message) {
+	m := sm.m
+	for _, msg := range msgs {
+		switch msg.Kind {
+		case msgMemReq:
+			issue := msg.A
+			addr := msg.B
+			src := int(msg.C & 0xFFFF)
+			dst := int(msg.C >> 16 & 0xFFFF)
+			write := msg.C>>32&1 == 1
+			arrive := m.network.Traverse(issue, src, dst)
+			if sm.coordRec != nil {
+				sm.coordRec.NoC(issue, arrive, src, dst)
+			}
+			var wbit uint64
+			if write {
+				wbit = 1
+			}
+			sm.eng.Shard(int(sm.moduleOwner[dst])).At(
+				arrive, sopMemAccess, addr, uint64(dst)|msg.D<<16|wbit<<62)
+		case msgLoadDone:
+			// The reply is a packet like any other; credit it here so the
+			// network stays the single source of truth for NoCPackets.
+			m.network.AddReplies(1)
+			sh, local := sm.tcuOf(int(msg.D))
+			tc := &sh.tcus[local]
+			if msg.A > tc.maxRet {
+				tc.maxRet = msg.A
+			}
+			tc.waiting--
+			if tc.waiting == 0 {
+				if sh.rec != nil {
+					sh.rec.Segment(tc.segStart, tc.maxRet, tc.id, trace.SegLoad)
+				}
+				sm.eng.Shard(sh.id).At(tc.maxRet, sopResume, uint64(local), uint64(tc.i))
+			}
+		case msgThreadDone:
+			// The prefix-sum unit combines concurrent requests, so every
+			// retiring TCU gets the next id in deterministic merge order
+			// with constant latency — the no-busy-wait allocation scheme.
+			if m.nextTh < m.totalTh {
+				tid := m.nextTh
+				m.nextTh++
+				sm.psOps++
+				sh, local := sm.tcuOf(int(msg.D))
+				sm.eng.Shard(sh.id).At(msg.A+PSLatency, sopStart, uint64(local), uint64(tid))
+			} else {
+				m.outstanding--
+			}
+		case msgPrefetch:
+			dst := int(msg.B)
+			sm.eng.Shard(int(sm.moduleOwner[dst])).At(
+				msg.Time+sm.replyLat, sopPrefetch, msg.A, msg.B)
+		default:
+			panic(fmt.Sprintf("xmt: unknown boundary message kind %d", msg.Kind))
+		}
+	}
+}
+
+// Event implements sim.ShardHandler.
+func (sh *machineShard) Event(s *sim.Shard, t uint64, op uint8, a, b uint64) {
+	switch op {
+	case sopStart:
+		sh.runThread(s, &sh.tcus[a], int(b), t)
+	case sopResume:
+		sh.exec(s, &sh.tcus[a], int(b), t)
+	case sopMemAccess:
+		sh.memAccess(s, t, a, b)
+	case sopPrefetch:
+		sh.sm.m.memory.PrefetchInto(int(b), t, a)
+	default:
+		panic(fmt.Sprintf("xmt: unknown shard event op %d", op))
+	}
+}
+
+// runThread generates thread tid's ops and begins executing its first
+// segment. Program.Thread is called from worker goroutines here — the
+// concurrency contract is documented on Program.
+func (sh *machineShard) runThread(s *sim.Shard, tc *shardTCU, tid int, now uint64) {
+	sh.counters.Threads++
+	tc.tid = tid
+	if sh.rec != nil {
+		sh.rec.ThreadStart(now, tc.id, sh.id, tid)
+	}
+	tc.buf = sh.sm.m.prog.Thread(tid, tc.buf[:0])
+	sh.exec(s, tc, 0, now+ThreadStartOverhead)
+}
+
+// exec is the sharded counterpart of Machine.execSegments: it executes
+// the op stream from index i with the thread ready at cycle now,
+// emitting boundary messages wherever the legacy path called into the
+// network or memory system directly.
+func (sh *machineShard) exec(s *sim.Shard, tc *shardTCU, i int, now uint64) {
+	cfg := &sh.sm.m.cfg
+	for {
+		if i >= len(tc.buf) {
+			sh.threadDone(s, tc, now)
+			return
+		}
+		op := tc.buf[i]
+		switch op.Kind {
+		case OpALU:
+			sh.counters.ALUOps += uint64(op.N)
+			now += uint64(op.N)
+			i++
+		case OpFLOP:
+			sh.counters.FPOps += uint64(op.N)
+			done := sh.fpu.GrantNLast(now, uint64(op.N)) + FPULatency
+			if sh.rec != nil {
+				sh.rec.Segment(now, done, tc.id, trace.SegFLOP)
+			}
+			i++
+			s.At(done, sopResume, uint64(tc.id%cfg.TCUsPerCluster), uint64(i))
+			return
+		case OpPS:
+			sh.counters.PSOps++
+			if sh.rec != nil {
+				sh.rec.Segment(now, now+PSLatency, tc.id, trace.SegPS)
+			}
+			i++
+			s.At(now+PSLatency, sopResume, uint64(tc.id%cfg.TCUsPerCluster), uint64(i))
+			return
+		case OpLoad:
+			// Emit the load group as boundary messages and park the
+			// thread; the coordinator resumes it when the last reply is
+			// in. The LSU issue grant is cluster-local state, charged now.
+			j := i
+			cnt := 0
+			for j < len(tc.buf) && tc.buf[j].Kind == OpLoad {
+				addr := tc.buf[j].Addr
+				issue := sh.lsu.Grant(now)
+				dst := mem.HashAddress(addr, cfg.MemModules)
+				sh.counters.Loads++
+				s.Send(msgMemReq, issue, addr,
+					uint64(sh.id)|uint64(dst)<<16, uint64(tc.id))
+				cnt++
+				j++
+			}
+			tc.i = j
+			tc.segStart = now
+			tc.waiting = cnt
+			tc.maxRet = 0
+			return
+		case OpStore:
+			// Issue the store group without blocking the thread.
+			j := i
+			start := now
+			issue := now
+			for j < len(tc.buf) && tc.buf[j].Kind == OpStore {
+				addr := tc.buf[j].Addr
+				issue = sh.lsu.Grant(issue)
+				dst := mem.HashAddress(addr, cfg.MemModules)
+				sh.counters.Stores++
+				s.Send(msgMemReq, issue, addr,
+					uint64(sh.id)|uint64(dst)<<16|1<<32, uint64(tc.id))
+				j++
+			}
+			now = issue + 1
+			if sh.rec != nil {
+				sh.rec.Segment(start, now, tc.id, trace.SegStore)
+			}
+			i = j
+		default:
+			panic(fmt.Sprintf("xmt: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+// memAccess serves one request at a module this shard owns; t is the
+// packet's arrival cycle at the module.
+func (sh *machineShard) memAccess(s *sim.Shard, t uint64, addr, packed uint64) {
+	module := int(packed & 0xFFFF)
+	tcu := int(packed >> 16 & 0x3FFFFFFF)
+	write := packed>>62&1 == 1
+	sys := sh.sm.m.memory
+	res := sys.AccessModule(module, t, addr, write)
+	if res.Hit {
+		sh.counters.CacheHits++
+	} else {
+		sh.counters.CacheMisses++
+	}
+	if sh.rec != nil {
+		sh.rec.MemAccess(t, res.Done, tcu, module, addr, write, res.Hit)
+	}
+	if write {
+		if res.Done > sh.lastDone {
+			sh.lastDone = res.Done // join waits for store completion
+		}
+	} else {
+		// Reply trees are contention-free (§II-B): arrival is pure
+		// latency, computable shard-locally; the coordinator delivers it.
+		s.Send(msgLoadDone, res.Done+sh.sm.replyLat, 0, 0, uint64(tcu))
+	}
+	if sys.Prefetch && !res.Hit {
+		next := addr + config.CacheLineBytes
+		s.Send(msgPrefetch, next, uint64(mem.HashAddress(next, sh.sm.m.cfg.MemModules)), 0, 0)
+	}
+}
+
+// threadDone retires the thread and asks the prefix-sum unit (via the
+// coordinator) for the TCU's next thread id.
+func (sh *machineShard) threadDone(s *sim.Shard, tc *shardTCU, now uint64) {
+	if now > sh.lastDone {
+		sh.lastDone = now
+	}
+	if sh.rec != nil {
+		sh.rec.ThreadRetire(now, tc.id, tc.tid)
+	}
+	s.Send(msgThreadDone, now, 0, 0, uint64(tc.id))
+}

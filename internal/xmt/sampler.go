@@ -31,8 +31,8 @@ type epochSampler struct {
 // machine's current cycle.
 func newEpochSampler(m *Machine, rec *trace.Recorder) *epochSampler {
 	s := &epochSampler{m: m, rec: rec, prev: m.Snapshot()}
-	s.prevHits, s.prevMisses = m.memory.Hits, m.memory.Misses
-	s.next = (m.engine.Now()/rec.Epoch + 1) * rec.Epoch
+	s.prevHits, s.prevMisses = m.memory.Hits(), m.memory.Misses()
+	s.next = (m.Now()/rec.Epoch + 1) * rec.Epoch
 	return s
 }
 
@@ -57,7 +57,7 @@ func (s *epochSampler) sample(cycle uint64) {
 		return f
 	}
 
-	hits, misses := m.memory.Hits, m.memory.Misses
+	hits, misses := m.memory.Hits(), m.memory.Misses()
 	dh, dm := hits-s.prevHits, misses-s.prevMisses
 	hitRate := 1.0
 	if dh+dm > 0 {

@@ -48,8 +48,8 @@ func TestMemCountersSurfaceInSpawnResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Ops.Prefetches != m.Memory().Prefetches {
-		t.Fatalf("prefetches %d != memory system %d", res.Ops.Prefetches, m.Memory().Prefetches)
+	if res.Ops.Prefetches != m.Memory().Prefetches() {
+		t.Fatalf("prefetches %d != memory system %d", res.Ops.Prefetches, m.Memory().Prefetches())
 	}
 	if res.Ops.Prefetches == 0 {
 		t.Fatal("streaming workload with prefetch enabled recorded no prefetches")
