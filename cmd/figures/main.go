@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
 	"xmtfft/internal/fft"
+	"xmtfft/internal/harness"
 	"xmtfft/internal/stats"
 	"xmtfft/internal/trace"
 	"xmtfft/internal/viz"
@@ -38,22 +40,17 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	write := func(name string, render func(f *os.File) error) {
+	write := func(name string, render func(w io.Writer) error) {
 		path := filepath.Join(*out, name)
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := render(f); err != nil {
+		if err := harness.WriteFileAtomic(path, render); err != nil {
 			fatal(err)
 		}
 		fmt.Println("wrote", path)
 	}
 
-	write("fig3-roofline.svg", func(f *os.File) error { return viz.Fig3SVG(f) })
-	write("strong-scaling.svg", func(f *os.File) error { return viz.ScalingSVG(f) })
-	write("weak-scaling.svg", func(f *os.File) error { return viz.WeakScalingSVG(f) })
+	write("fig3-roofline.svg", func(w io.Writer) error { return viz.Fig3SVG(w) })
+	write("strong-scaling.svg", func(w io.Writer) error { return viz.ScalingSVG(w) })
+	write("weak-scaling.svg", func(w io.Writer) error { return viz.WeakScalingSVG(w) })
 
 	// Detailed run for the timeline.
 	cfg, err := config.FourK().Scaled(*tcus)
@@ -64,11 +61,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	write("phase-timeline.svg", func(f *os.File) error { return viz.TimelineSVG(f, run) })
-	write("utilization.svg", func(f *os.File) error {
-		return viz.UtilizationSVG(f, cfg.Name, rec.Epoch, rec.Samples)
+	write("phase-timeline.svg", func(w io.Writer) error { return viz.TimelineSVG(w, run) })
+	write("utilization.svg", func(w io.Writer) error {
+		return viz.UtilizationSVG(w, cfg.Name, rec.Epoch, rec.Samples)
 	})
-	write("trace.json", func(f *os.File) error { return rec.WritePerfetto(f) })
+	write("trace.json", func(w io.Writer) error { return rec.WritePerfetto(w) })
 }
 
 func newMachineRun(cfg config.Config, n int, epoch uint64) (run stats.Run, rec *trace.Recorder, err error) {

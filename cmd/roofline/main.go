@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xmtfft/internal/harness"
@@ -25,23 +26,18 @@ func main() {
 	scaling := flag.String("scaling", "", "write the strong-scaling chart as SVG to this path")
 	flag.Parse()
 
-	writeSVG := func(path string, render func(f *os.File) error) {
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := render(f); err != nil {
+	writeSVG := func(path string, render func(w io.Writer) error) {
+		if err := harness.WriteFileAtomic(path, render); err != nil {
 			fatal(err)
 		}
 		fmt.Println("wrote", path)
 	}
 	if *svg != "" {
-		writeSVG(*svg, func(f *os.File) error { return viz.Fig3SVG(f) })
+		writeSVG(*svg, func(w io.Writer) error { return viz.Fig3SVG(w) })
 		return
 	}
 	if *scaling != "" {
-		writeSVG(*scaling, func(f *os.File) error { return viz.ScalingSVG(f) })
+		writeSVG(*scaling, func(w io.Writer) error { return viz.ScalingSVG(w) })
 		return
 	}
 

@@ -24,16 +24,16 @@
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 //	xmtbench -host-bench BENCH_fft.json -host-n 128,256
 //	xmtbench -sim-bench BENCH_sim.json -sim-bench-workers 1,2,4
+//	xmtbench -fault-bench BENCH_fault.json -fault-rates 0.005,0.02,0.05
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	"xmtfft/internal/baseline"
 	"xmtfft/internal/harness"
@@ -56,7 +56,21 @@ func main() {
 	hostSizes := flag.String("host-n", "128,256", "comma-separated per-dimension sizes for -host-bench")
 	hostWorkers := flag.Int("host-workers", 0, "parallel worker count for -host-bench (0 = GOMAXPROCS)")
 	hostReps := flag.Int("host-reps", 1, "repetitions per -host-bench point (best run kept)")
+	faultBench := flag.String("fault-bench", "", "measure resilience overhead (cycles/GFLOPS vs fault rate) on the FFT workload and write a BENCH_fault.json perf record to this path ('-' for stdout)")
+	faultRates := flag.String("fault-rates", "0.005,0.02,0.05", "comma-separated fault rates for -fault-bench (rate 0 baseline is always included)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection streams of -fault-bench")
 	flag.Parse()
+
+	if err := validateFlags(cliFlags{
+		tcus: *tcus, n: *n, simWorkers: *simWorkers, simReps: *simReps,
+		hostWorkers: *hostWorkers, hostReps: *hostReps,
+		tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
+		simBench: *simBench, simBenchWorkers: *simBenchWorkers,
+		hostBench: *hostBench, hostSizes: *hostSizes,
+		faultBench: *faultBench, faultRates: *faultRates,
+	}); err != nil {
+		usageError(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -96,12 +110,15 @@ func main() {
 		}
 		return
 	}
+	if *faultBench != "" {
+		if err := runFaultBench(*faultBench, *faultRates, *tcus, *n, *simWorkers, *faultSeed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	epoch := uint64(0)
 	if *tracePath != "" || *utilSVG != "" {
-		if *traceEpoch == 0 {
-			fatal(fmt.Errorf("-trace-epoch must be positive"))
-		}
 		epoch = *traceEpoch
 	}
 	rec, err := harness.AblationReportTraceWorkers(os.Stdout, *tcus, *n, epoch, *simWorkers)
@@ -111,35 +128,39 @@ func main() {
 	if rec == nil {
 		return
 	}
-	writeFile := func(path string, f func(*os.File) error) {
+	writeFile := func(path string, f func(io.Writer) error) {
 		if path == "" {
 			return
 		}
-		fh, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer fh.Close()
-		if err := f(fh); err != nil {
+		if err := harness.WriteFileAtomic(path, f); err != nil {
 			fatal(err)
 		}
 		fmt.Println("wrote", path)
 	}
-	writeFile(*tracePath, func(f *os.File) error { return rec.WritePerfetto(f) })
-	writeFile(*utilSVG, func(f *os.File) error {
-		return viz.UtilizationSVG(f, rec.Label, rec.Epoch, rec.Samples)
+	writeFile(*tracePath, func(w io.Writer) error { return rec.WritePerfetto(w) })
+	writeFile(*utilSVG, func(w io.Writer) error {
+		return viz.UtilizationSVG(w, rec.Label, rec.Epoch, rec.Samples)
 	})
+}
+
+// writeRecord emits a benchmark record to stdout ("-") or atomically to
+// a file, so an interrupted run never truncates a previous artifact.
+func writeRecord(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	if err := harness.WriteFileAtomic(path, write); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 // runHostBench measures the host FFT and writes the perf record.
 func runHostBench(path, sizeList string, workers, reps int) error {
-	var sizes []int
-	for _, s := range strings.Split(sizeList, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return fmt.Errorf("bad -host-n entry %q: %w", s, err)
-		}
-		sizes = append(sizes, v)
+	sizes, err := parseIntList("-host-n", sizeList)
+	if err != nil {
+		return err
 	}
 	rec, err := baseline.RunHostBench(sizes, workers, reps)
 	if err != nil {
@@ -153,30 +174,14 @@ func runHostBench(path, sizeList string, workers, reps int) error {
 			fmt.Printf("%d^3 serial blocked/naive speedup: %.2fx\n", n, sp)
 		}
 	}
-	if path == "-" {
-		return rec.Write(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := rec.Write(f); err != nil {
-		return err
-	}
-	fmt.Println("wrote", path)
-	return nil
+	return writeRecord(path, rec.Write)
 }
 
 // runSimBench measures the simulation engines and writes BENCH_sim.json.
 func runSimBench(path, workerList string, tcus, n, reps int) error {
-	var workers []int
-	for _, s := range strings.Split(workerList, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return fmt.Errorf("bad -sim-bench-workers entry %q: %w", s, err)
-		}
-		workers = append(workers, v)
+	workers, err := parseIntList("-sim-bench-workers", workerList)
+	if err != nil {
+		return err
 	}
 	rec, err := harness.RunSimBench(tcus, n, workers, reps)
 	if err != nil {
@@ -196,22 +201,38 @@ func runSimBench(path, workerList string, tcus, n, reps int) error {
 	if rec.Note != "" {
 		fmt.Println("note:", rec.Note)
 	}
-	if path == "-" {
-		return rec.Write(os.Stdout)
-	}
-	f, err := os.Create(path)
+	return writeRecord(path, rec.Write)
+}
+
+// runFaultBench measures resilience overhead and writes BENCH_fault.json.
+func runFaultBench(path, rateList string, tcus, n, workers int, seed uint64) error {
+	rates, err := parseRateList("-fault-rates", rateList)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := rec.Write(f); err != nil {
+	rec, err := harness.RunFaultBench(tcus, n, workers, seed, rates)
+	if err != nil {
 		return err
 	}
-	fmt.Println("wrote", path)
-	return nil
+	for _, r := range rec.Results {
+		fmt.Printf("rate %-7g %12d cycles  %7.2f GFLOPS  +%5.1f%%  retransmits %d  ecc corrected %d\n",
+			r.Rate, r.Cycles, r.GFLOPS, r.CyclesOverhead*100, r.NoCRetransmits, r.ECCCorrected)
+	}
+	if rec.Note != "" {
+		fmt.Println("note:", rec.Note)
+	}
+	return writeRecord(path, rec.Write)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xmtbench:", err)
 	os.Exit(1)
+}
+
+// usageError reports an invalid flag combination and exits with the
+// conventional usage-error status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "xmtbench:", err)
+	fmt.Fprintln(os.Stderr, "run with -h for flag documentation")
+	os.Exit(2)
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -22,7 +23,9 @@ import (
 
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
+	"xmtfft/internal/fault"
 	"xmtfft/internal/fft"
+	"xmtfft/internal/harness"
 	"xmtfft/internal/model"
 	"xmtfft/internal/stats"
 	"xmtfft/internal/trace"
@@ -48,7 +51,25 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 0, "simulation worker count: 0 = legacy serial engine, >= 1 = sharded parallel engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection streams")
+	faultNoCDrop := flag.Float64("fault-noc-drop", 0, "per-packet NoC drop probability (recovered by retransmit)")
+	faultNoCCorrupt := flag.Float64("fault-noc-corrupt", 0, "per-packet NoC corruption probability (detected by CRC, recovered by retransmit)")
+	faultDRAMBER := flag.Float64("fault-dram-ber", 0, "per-line-fetch DRAM single-bit-error probability (corrected by SECDED ECC)")
+	faultDRAMDBER := flag.Float64("fault-dram-dber", 0, "per-line-fetch DRAM double-bit-error probability (detected, not correctable)")
+	faultNoECC := flag.Bool("fault-no-ecc", false, "disable the SECDED model: DRAM bit errors pass silently")
+	faultKill := flag.Int("fault-kill-clusters", 0, "fail-stop this many clusters (chosen deterministically from -fault-seed)")
+	watchdogWindow := flag.Uint64("watchdog-window", 0, "abort if no forward progress within this many simulated cycles (0 = off)")
 	flag.Parse()
+
+	if err := validateFlags(cliFlags{
+		n: *n, dims: *dims, radix: *radix, simWorkers: *simWorkers, tcus: *tcus,
+		model: *useModel, tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
+		faultNoCDrop: *faultNoCDrop, faultNoCCorrupt: *faultNoCCorrupt,
+		faultDRAMBER: *faultDRAMBER, faultDRAMDBER: *faultDRAMDBER,
+		faultKill: *faultKill, watchdogWindow: *watchdogWindow,
+	}); err != nil {
+		usageError(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -82,9 +103,6 @@ func main() {
 	}
 
 	if *useModel {
-		if *tracePath != "" || *utilSVG != "" {
-			fatal(fmt.Errorf("-trace and -util-svg require detailed simulation (drop -model)"))
-		}
 		if *dims != 3 {
 			fatal(fmt.Errorf("the analytic model covers 3D transforms"))
 		}
@@ -115,11 +133,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	plan := fault.Plan{
+		Seed: *faultSeed, NoCDrop: *faultNoCDrop, NoCCorrupt: *faultNoCCorrupt,
+		DRAMBitErr: *faultDRAMBER, DRAMDoubleBitErr: *faultDRAMDBER, NoECC: *faultNoECC,
+	}
+	if *faultKill > 0 {
+		plan.KillClusters = fault.PickClusters(*faultSeed, *faultKill, cfg.Clusters)
+	}
+	if plan.Active() {
+		if err := m.EnableFaults(plan); err != nil {
+			fatal(err)
+		}
+	}
+	if *watchdogWindow > 0 {
+		m.SetWatchdog(*watchdogWindow)
+	}
 	var rec *trace.Recorder
 	if *tracePath != "" || *utilSVG != "" {
-		if *traceEpoch == 0 {
-			fatal(fmt.Errorf("-trace-epoch must be positive"))
-		}
 		rec = trace.NewRecorder(*traceEpoch)
 		rec.Label = cfg.Name
 		m.AttachRecorder(rec)
@@ -170,6 +200,16 @@ func main() {
 	fmt.Printf("  ops: %d flops, %d loads, %d stores, %d threads, cache hit rate %.1f%%, DRAM %d bytes\n",
 		ops.FPOps, ops.Loads, ops.Stores, ops.Threads, ops.HitRate()*100, ops.DRAMBytes)
 	fmt.Printf("  utilization: FPU %.0f%%, LSU %.0f%%, DRAM %.0f%%\n", util.FPU*100, util.LSU*100, util.DRAM*100)
+	if plan.Active() {
+		c := m.Counters
+		fmt.Printf("  faults (seed %d): noc drops %d, corrupts %d, retransmits %d; ecc corrected %d, uncorrectable %d, silent %d\n",
+			plan.Seed, c.NoCDropped, c.NoCCorrupted, c.NoCRetransmits,
+			c.ECCCorrected, c.ECCUncorrectable, c.SilentFaults)
+		if dead := m.DeadClusters(); len(dead) > 0 {
+			fmt.Printf("  dead clusters: %v (threads remapped to the %d survivors)\n",
+				dead, cfg.Clusters-len(dead))
+		}
+	}
 	if *verbose {
 		fmt.Print(run.String())
 		if rec != nil {
@@ -178,27 +218,22 @@ func main() {
 			}
 		}
 	}
-	writeFile := func(path string, f func(*os.File) error) {
+	writeFile := func(path string, f func(io.Writer) error) {
 		if path == "" {
 			return
 		}
-		fh, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer fh.Close()
-		if err := f(fh); err != nil {
+		if err := harness.WriteFileAtomic(path, f); err != nil {
 			fatal(err)
 		}
 		fmt.Println("wrote", path)
 	}
-	writeFile(*jsonOut, func(f *os.File) error { return run.WriteJSON(f) })
-	writeFile(*csvOut, func(f *os.File) error { return run.WriteCSV(f) })
-	writeFile(*timeline, func(f *os.File) error { return viz.TimelineSVG(f, run) })
+	writeFile(*jsonOut, func(w io.Writer) error { return run.WriteJSON(w) })
+	writeFile(*csvOut, func(w io.Writer) error { return run.WriteCSV(w) })
+	writeFile(*timeline, func(w io.Writer) error { return viz.TimelineSVG(w, run) })
 	if rec != nil {
-		writeFile(*tracePath, func(f *os.File) error { return rec.WritePerfetto(f) })
-		writeFile(*utilSVG, func(f *os.File) error {
-			return viz.UtilizationSVG(f, cfg.Name, rec.Epoch, rec.Samples)
+		writeFile(*tracePath, func(w io.Writer) error { return rec.WritePerfetto(w) })
+		writeFile(*utilSVG, func(w io.Writer) error {
+			return viz.UtilizationSVG(w, cfg.Name, rec.Epoch, rec.Samples)
 		})
 	}
 }
@@ -206,4 +241,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xmtfft:", err)
 	os.Exit(1)
+}
+
+// usageError reports an invalid flag combination and exits with the
+// conventional usage-error status 2.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "xmtfft:", err)
+	fmt.Fprintln(os.Stderr, "run with -h for flag documentation")
+	os.Exit(2)
 }

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42, DomainNoC, 7)
+	b := NewStream(42, DomainNoC, 7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestStreamsDecorrelated(t *testing.T) {
+	// Neighbouring keys must diverge immediately on every axis.
+	base := NewStream(1, DomainDRAM, 0)
+	for _, other := range []*Stream{
+		NewStream(2, DomainDRAM, 0),
+		NewStream(1, DomainNoC, 0),
+		NewStream(1, DomainDRAM, 1),
+	} {
+		same := 0
+		b := *base // copy so each comparison starts fresh
+		for i := 0; i < 64; i++ {
+			if b.Uint64() == other.Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("streams with neighbouring keys collided %d/64 draws", same)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(9, DomainNoC, 0)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestHitRateApproximates(t *testing.T) {
+	s := NewStream(3, DomainDRAM, 5)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Hit(0.1) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("Hit(0.1) frequency %g, want ~0.1", got)
+	}
+}
+
+func TestHitAlwaysConsumesDraw(t *testing.T) {
+	// Hit must advance the stream identically regardless of p, so runs
+	// with different protection settings see identical fault sequences.
+	a := NewStream(5, DomainNoC, 0)
+	b := NewStream(5, DomainNoC, 0)
+	a.Hit(0)
+	b.Hit(1)
+	if av, bv := a.Uint64(), b.Uint64(); av != bv {
+		t.Fatalf("Hit consumed different draw counts: next %d vs %d", av, bv)
+	}
+}
+
+func TestPlanActive(t *testing.T) {
+	if (Plan{}).Active() {
+		t.Fatal("zero plan must be inactive")
+	}
+	for _, p := range []Plan{
+		{NoCDrop: 0.1},
+		{NoCCorrupt: 0.1},
+		{NoCDropNth: []uint64{3}},
+		{DRAMBitErr: 1e-4},
+		{DRAMDoubleBitErr: 1e-6},
+		{KillClusters: []int{0}},
+	} {
+		if !p.Active() {
+			t.Fatalf("plan %+v should be active", p)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := Plan{NoCDrop: 0.5, NoCCorrupt: 0.25, DRAMBitErr: 0.001, KillClusters: []int{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for _, p := range []Plan{
+		{NoCDrop: -0.1},
+		{NoCDrop: 1.5},
+		{NoCCorrupt: 2},
+		{DRAMBitErr: -1},
+		{DRAMDoubleBitErr: 1.01},
+		{NoCDrop: 0.7, NoCCorrupt: 0.7},
+		{DRAMBitErr: 0.6, DRAMDoubleBitErr: 0.6},
+		{KillClusters: []int{-1}},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("invalid plan %+v accepted", p)
+		}
+	}
+}
+
+func TestPickClusters(t *testing.T) {
+	got := PickClusters(11, 4, 16)
+	if len(got) != 4 {
+		t.Fatalf("want 4 picks, got %v", got)
+	}
+	seen := map[int]bool{}
+	for i, c := range got {
+		if c < 0 || c >= 16 {
+			t.Fatalf("pick %d out of range: %v", c, got)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate pick %d: %v", c, got)
+		}
+		seen[c] = true
+		if i > 0 && got[i-1] > c {
+			t.Fatalf("picks not sorted: %v", got)
+		}
+	}
+	if again := PickClusters(11, 4, 16); !reflect.DeepEqual(got, again) {
+		t.Fatalf("PickClusters not deterministic: %v vs %v", got, again)
+	}
+	if other := PickClusters(12, 4, 16); reflect.DeepEqual(got, other) {
+		t.Fatalf("different seeds gave identical picks %v", got)
+	}
+	if all := PickClusters(1, 99, 8); len(all) != 8 {
+		t.Fatalf("over-asking should clamp to total: %v", all)
+	}
+	if none := PickClusters(1, 0, 8); none != nil {
+		t.Fatalf("k=0 should pick nothing: %v", none)
+	}
+}

@@ -1,0 +1,52 @@
+package harness
+
+// Atomic artifact writes. Benchmark records (BENCH_*.json, CSV, SVG)
+// are consumed by CI jobs and plotting scripts that may race with the
+// writer; a crash or interrupt mid-write must never leave a truncated
+// artifact where a complete one used to be. WriteFileAtomic gives the
+// standard temp-file + fsync + rename discipline: readers see either
+// the old complete file or the new complete file, never a partial one.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes an artifact to path atomically: the payload is
+// produced by write into a temporary file in the destination directory
+// (same filesystem, so the final rename is atomic), synced to stable
+// storage, and renamed over path. On any error the temporary file is
+// removed and the previous contents of path are left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("harness: atomic write of %s: %w", path, err)
+	}
+	name := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("harness: atomic write of %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("harness: atomic write of %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("harness: atomic write of %s: close: %w", path, err)
+	}
+	if err = os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("harness: atomic write of %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"v":1}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"v":1}` {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite replaces the artifact completely.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"v":2}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != `{"v":2}` {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+// TestWriteFileAtomicInterrupted simulates a writer dying partway
+// through: the payload function writes half the record and then fails.
+// The previous artifact must survive intact and no temp file may be
+// left behind.
+func TestWriteFileAtomicInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sim.json")
+	if err := os.WriteFile(path, []byte("complete old record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk pulled mid-write")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, `{"truncated":`); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "complete old record" {
+		t.Fatalf("interrupted write clobbered the artifact: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp litter after failed write: %v", names)
+	}
+}
+
+func TestWriteFileAtomicBadDirectory(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "x.json"),
+		func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

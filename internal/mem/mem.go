@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"xmtfft/internal/config"
+	"xmtfft/internal/fault"
 	"xmtfft/internal/sim"
 )
 
@@ -49,6 +50,11 @@ const (
 	// latency-only (channel occupancy is unaffected) — consistent with
 	// the sustained-bandwidth calibration of the analytic model.
 	RowActivateCycles = 24
+	// ECCCorrectCycles is the SECDED correction pipeline penalty added
+	// to a line fetch whose data arrived with a (correctable)
+	// single-bit error. Error-free fetches pay nothing: detection
+	// happens in the syndrome pipeline overlapped with the transfer.
+	ECCCorrectCycles = 8
 )
 
 // HashAddress maps a byte address to a memory module index. The XMT
@@ -62,11 +68,34 @@ func HashAddress(addr uint64, modules int) int {
 	return int(h >> 32 % uint64(modules))
 }
 
+// Fault classifies the DRAM bit-error outcome of one access (fault
+// injection; see EnableFaults). FaultNone on every access when fault
+// injection is off.
+type Fault uint8
+
+const (
+	// FaultNone: the access was error-free.
+	FaultNone Fault = iota
+	// FaultECCCorrected: the fetched line had a single-bit error that
+	// SECDED corrected, at an ECCCorrectCycles latency penalty.
+	FaultECCCorrected
+	// FaultECCUncorrectable: the fetched line had a double-bit error;
+	// SECDED detects it but cannot correct. The event is reported for
+	// the machine to account (in this timing-directed model the data
+	// itself lives host-side and is not perturbed).
+	FaultECCUncorrectable
+	// FaultSilent: a bit error occurred with ECC disabled — nothing in
+	// the modeled hardware noticed; the simulator tallies it so the
+	// cost of protection can be weighed against the exposure without it.
+	FaultSilent
+)
+
 // AccessResult reports the outcome of one timed memory access.
 type AccessResult struct {
 	Done   uint64 // cycle at which the value is available / committed
 	Hit    bool   // whether the access hit in the module's cache slice
 	Module int    // memory module that served it
+	Fault  Fault  // DRAM bit-error outcome (FaultNone unless injecting)
 }
 
 type line struct {
@@ -122,6 +151,15 @@ type module struct {
 	writebacks uint64
 	queueDelay uint64
 	prefetches uint64
+
+	// Fault-injection state (nil stream = injection off for this
+	// module). The stream is per-module so concurrent shards draw
+	// independently and each module's error sequence depends only on
+	// its own access order — deterministic for any worker count.
+	faultStream  *fault.Stream
+	eccCorrected uint64
+	eccUncorrect uint64
+	silentFaults uint64
 }
 
 // System is the whole memory system for one machine configuration.
@@ -137,6 +175,13 @@ type System struct {
 	// irregular patterns. Off by default so traffic accounting matches
 	// the analytic model; the prefetch ablation turns it on.
 	Prefetch bool
+
+	// Fault-injection parameters, immutable after EnableFaults (set
+	// before simulation starts; read concurrently by shards).
+	ber     float64 // per-line-fetch single-bit error probability
+	dber    float64 // per-line-fetch double-bit error probability
+	eccOn   bool
+	faulted bool
 }
 
 // NewSystem builds the memory system for cfg. The cache geometry is
@@ -252,9 +297,37 @@ func (s *System) accessModule(mi int, t uint64, addr uint64, write bool) (Access
 	fetch, activate := m.channel.transfer(start, addr)
 	done := fetch + lineTransferCycles + DRAMAccessLatency + activate
 
+	// Fault injection: one Bernoulli draw per line fetch from the
+	// module's own stream decides error-free / single-bit / double-bit.
+	// Single draws split the interval so protection settings never
+	// change the error sequence, only its handling.
+	var fv Fault
+	if m.faultStream != nil {
+		u := m.faultStream.Float64()
+		switch {
+		case u < s.dber:
+			if s.eccOn {
+				fv = FaultECCUncorrectable
+				m.eccUncorrect++
+			} else {
+				fv = FaultSilent
+				m.silentFaults++
+			}
+		case u < s.dber+s.ber:
+			if s.eccOn {
+				fv = FaultECCCorrected
+				m.eccCorrected++
+				done += ECCCorrectCycles
+			} else {
+				fv = FaultSilent
+				m.silentFaults++
+			}
+		}
+	}
+
 	set[victim] = line{tag: tag, valid: true, dirty: write, used: m.useTick}
 
-	return AccessResult{Done: done, Hit: false, Module: mi}, start
+	return AccessResult{Done: done, Hit: false, Module: mi, Fault: fv}, start
 }
 
 // PrefetchInto fills the line containing addr into module mi (which the
@@ -290,6 +363,41 @@ func (s *System) PrefetchInto(mi int, t uint64, addr uint64) {
 	m.prefetches++
 	m.useTick++
 	set[victim] = line{tag: tag, valid: true, used: m.useTick}
+}
+
+// EnableFaults arms DRAM bit-error injection: every demand line fetch
+// draws once from its module's (seed, DomainDRAM, module) stream and
+// suffers a single-bit error with probability ber or a double-bit
+// error with probability dber. With ecc true the SECDED model corrects
+// single-bit errors (adding ECCCorrectCycles to the fetch) and reports
+// double-bit errors as uncorrectable; with ecc false errors pass
+// silently and are only tallied. Call before simulation starts; with
+// both rates zero it is a no-op and the system stays on the fault-free
+// fast path (zero-overhead contract).
+func (s *System) EnableFaults(seed uint64, ber, dber float64, ecc bool) {
+	if ber <= 0 && dber <= 0 {
+		return
+	}
+	s.ber, s.dber, s.eccOn, s.faulted = ber, dber, ecc, true
+	for i, m := range s.modules {
+		m.faultStream = fault.NewStream(seed, fault.DomainDRAM, uint64(i))
+	}
+}
+
+// FaultsEnabled reports whether DRAM bit-error injection is armed.
+func (s *System) FaultsEnabled() bool { return s.faulted }
+
+// ECCStats returns aggregate fault outcomes: SECDED-corrected
+// single-bit errors, detected-uncorrectable double-bit errors, and
+// silent errors (injection with ECC disabled). Like the other
+// aggregates, safe only when shards are quiescent.
+func (s *System) ECCStats() (corrected, uncorrectable, silent uint64) {
+	for _, m := range s.modules {
+		corrected += m.eccCorrected
+		uncorrectable += m.eccUncorrect
+		silent += m.silentFaults
+	}
+	return corrected, uncorrectable, silent
 }
 
 // Flush writes back all dirty lines, returning the number written back.

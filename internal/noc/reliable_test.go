@@ -1,0 +1,183 @@
+package noc
+
+import (
+	"testing"
+
+	"xmtfft/internal/config"
+)
+
+func reliableMoT(t *testing.T, seed uint64, drop, corrupt float64, dropNth []uint64) *Reliable {
+	t.Helper()
+	return WrapReliable(NewMoT(config.FourK()), seed, drop, corrupt, dropNth)
+}
+
+func TestReliableNoFaultsIsTransparent(t *testing.T) {
+	plain := NewMoT(config.FourK())
+	r := reliableMoT(t, 1, 0, 0, nil)
+	for i := uint64(0); i < 50; i++ {
+		want := plain.Traverse(i*10, int(i%8), int(i%64))
+		got, ok := r.TraverseReliable(i*10, int(i%8), int(i%64))
+		if !ok || got != want {
+			t.Fatalf("packet %d: got (%d, %v), want (%d, true)", i, got, ok, want)
+		}
+	}
+	if r.Packets() != plain.Packets() {
+		t.Fatalf("packet counts diverged: %d vs %d", r.Packets(), plain.Packets())
+	}
+	if r.Drops+r.Corrupts+r.Retransmits+r.GiveUps != 0 {
+		t.Fatalf("fault counters nonzero without faults: %+v", r)
+	}
+}
+
+func TestReliableRetransmitAddsLatencyAndPackets(t *testing.T) {
+	// Drop exactly the first attempt: the traversal must succeed on the
+	// second, one RTO later, having sent two packets.
+	r := reliableMoT(t, 1, 0, 0, []uint64{1})
+	lat := r.Latency()
+	arrive, ok := r.TraverseReliable(100, 0, 0)
+	if !ok {
+		t.Fatal("traversal with one drop must recover")
+	}
+	rto := 2*lat + RetransmitSlack
+	if want := 100 + rto + lat; arrive != want {
+		t.Fatalf("arrival %d, want %d (one RTO of recovery)", arrive, want)
+	}
+	if r.Packets() != 2 {
+		t.Fatalf("packets %d, want 2 (original + retransmit)", r.Packets())
+	}
+	if r.Drops != 1 || r.Retransmits != 1 || r.GiveUps != 0 {
+		t.Fatalf("counters drops=%d retransmits=%d giveups=%d, want 1/1/0",
+			r.Drops, r.Retransmits, r.GiveUps)
+	}
+}
+
+func TestReliableBackoffIsCappedExponential(t *testing.T) {
+	// Drop the first four attempts; delays must be rto, 2rto, 4rto, 8rto.
+	r := reliableMoT(t, 1, 0, 0, []uint64{1, 2, 3, 4})
+	lat := r.Latency()
+	rto := 2*lat + RetransmitSlack
+	arrive, ok := r.TraverseReliable(0, 0, 0)
+	if !ok {
+		t.Fatal("must recover after four drops")
+	}
+	wantSend := rto * (1 + 2 + 4 + 8)
+	if want := wantSend + lat; arrive != want {
+		t.Fatalf("arrival %d, want %d", arrive, want)
+	}
+	// Cap: a long streak's per-retry delay never exceeds rto<<MaxBackoffShift.
+	nth := make([]uint64, MaxAttempts-1)
+	for i := range nth {
+		nth[i] = uint64(i + 2) // the second traversal's first 15 attempts
+	}
+	r2 := reliableMoT(t, 1, 0, 0, nth)
+	r2.TraverseReliable(0, 0, 0) // attempt 1: clean
+	arrive2, ok := r2.TraverseReliable(0, 0, 0)
+	if !ok {
+		t.Fatal("must recover on the final attempt")
+	}
+	var sum uint64
+	for a := 0; a < MaxAttempts-1; a++ {
+		shift := uint(a)
+		if shift > MaxBackoffShift {
+			shift = MaxBackoffShift
+		}
+		sum += rto << shift
+	}
+	if want := sum + lat; arrive2 != want {
+		t.Fatalf("capped backoff arrival %d, want %d", arrive2, want)
+	}
+}
+
+func TestReliableGiveUpAfterMaxAttempts(t *testing.T) {
+	r := reliableMoT(t, 1, 1.0, 0, nil) // every packet lost
+	at, ok := r.TraverseReliable(50, 1, 2)
+	if ok {
+		t.Fatal("drop=1.0 traversal must give up")
+	}
+	if at <= 50 {
+		t.Fatalf("give-up cycle %d must be after the send", at)
+	}
+	if r.Drops != MaxAttempts || r.GiveUps != 1 {
+		t.Fatalf("drops=%d giveups=%d, want %d/1", r.Drops, r.GiveUps, MaxAttempts)
+	}
+	if r.Packets() != MaxAttempts {
+		t.Fatalf("packets %d, want %d (every attempt injected)", r.Packets(), MaxAttempts)
+	}
+}
+
+func TestReliableDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64, uint64) {
+		r := reliableMoT(t, seed, 0.3, 0.1, nil)
+		var last uint64
+		for i := 0; i < 500; i++ {
+			a, ok := r.TraverseReliable(uint64(i*20), i%8, i%64)
+			if ok {
+				last = a
+			}
+		}
+		return last, r.Drops, r.Corrupts
+	}
+	a1, d1, c1 := run(7)
+	a2, d2, c2 := run(7)
+	if a1 != a2 || d1 != d2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", a1, d1, c1, a2, d2, c2)
+	}
+	a3, d3, c3 := run(8)
+	if a1 == a3 && d1 == d3 && c1 == c3 {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	if d1 == 0 || c1 == 0 {
+		t.Fatalf("rates 0.3/0.1 over 500 packets produced drops=%d corrupts=%d", d1, c1)
+	}
+}
+
+func TestReliableObserverSeesEvents(t *testing.T) {
+	r := reliableMoT(t, 1, 0, 0, []uint64{1, 2})
+	type seen struct {
+		ev      FaultEvent
+		attempt int
+	}
+	var events []seen
+	r.Observer = func(cycle uint64, ev FaultEvent, src, dst, attempt int) {
+		events = append(events, seen{ev, attempt})
+	}
+	if _, ok := r.TraverseReliable(0, 3, 9); !ok {
+		t.Fatal("two drops then success expected")
+	}
+	if len(events) != 2 || events[0] != (seen{FaultDrop, 1}) || events[1] != (seen{FaultDrop, 2}) {
+		t.Fatalf("observer events %v", events)
+	}
+}
+
+func TestReliableCorruptionCountedSeparately(t *testing.T) {
+	r := reliableMoT(t, 3, 0, 0.5, nil)
+	for i := 0; i < 200; i++ {
+		r.TraverseReliable(uint64(i*50), 0, i%16)
+	}
+	if r.Corrupts == 0 {
+		t.Fatal("corrupt rate 0.5 produced no corruption events")
+	}
+	if r.Drops != 0 {
+		t.Fatalf("pure-corruption run counted %d drops", r.Drops)
+	}
+}
+
+func TestReliableWrapsHybrid(t *testing.T) {
+	cfg := config.FourK()
+	h, err := NewHybrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := WrapReliable(h, 2, 0, 0, []uint64{2})
+	a1, ok := r.TraverseReliable(0, 0, 5)
+	if !ok {
+		t.Fatal("clean first traversal failed")
+	}
+	a2, ok := r.TraverseReliable(0, 1, 5)
+	if !ok {
+		t.Fatal("retransmit must recover")
+	}
+	if a2 <= a1 {
+		t.Fatalf("dropped packet arrived at %d, not after clean one at %d", a2, a1)
+	}
+}

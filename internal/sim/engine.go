@@ -103,6 +103,7 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	hook   Hook
+	wd     *Watchdog
 	// Processed counts events executed; useful for progress reporting and
 	// for bounding runaway simulations in tests.
 	Processed uint64
@@ -160,6 +161,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.events.pop()
+	if e.wd != nil && e.wd.expired(ev.time) {
+		panic(&WatchdogError{Window: e.wd.Window, LastProgress: e.wd.last,
+			Now: ev.time, Dump: e.dumpState()})
+	}
 	if e.hook != nil && ev.time > e.now {
 		e.hook.Advance(e.now, ev.time)
 	}

@@ -273,6 +273,7 @@ type ParallelEngine struct {
 	window  uint64
 	barrier func([]Message)
 	hook    Hook
+	wd      *Watchdog
 	now     uint64
 
 	// Workers is the number of goroutines advancing shards inside a
@@ -391,6 +392,10 @@ func (e *ParallelEngine) Run() uint64 {
 		start, ok := e.minNext()
 		if !ok {
 			return e.now
+		}
+		if e.wd != nil && e.wd.expired(start) {
+			panic(&WatchdogError{Window: e.wd.Window, LastProgress: e.wd.last,
+				Now: start, Dump: e.dumpState()})
 		}
 		end := start + e.window
 		e.Windows++

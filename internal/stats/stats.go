@@ -28,6 +28,14 @@ type Counters struct {
 	Prefetches  uint64 // cache lines fetched speculatively by the prefetcher
 	RowHits     uint64 // DRAM accesses that hit an open row buffer
 	RowMisses   uint64 // DRAM accesses that had to open a row
+
+	// Fault-injection & resilience tallies (zero unless faults enabled).
+	NoCDropped       uint64 // request packets lost in flight
+	NoCCorrupted     uint64 // request packets rejected as corrupted
+	NoCRetransmits   uint64 // recovery retransmissions sent
+	ECCCorrected     uint64 // DRAM single-bit errors corrected by SECDED
+	ECCUncorrectable uint64 // DRAM double-bit errors detected, not corrected
+	SilentFaults     uint64 // DRAM bit errors with ECC disabled (undetected)
 }
 
 // Add accumulates o into c.
@@ -46,6 +54,12 @@ func (c *Counters) Add(o Counters) {
 	c.Prefetches += o.Prefetches
 	c.RowHits += o.RowHits
 	c.RowMisses += o.RowMisses
+	c.NoCDropped += o.NoCDropped
+	c.NoCCorrupted += o.NoCCorrupted
+	c.NoCRetransmits += o.NoCRetransmits
+	c.ECCCorrected += o.ECCCorrected
+	c.ECCUncorrectable += o.ECCUncorrectable
+	c.SilentFaults += o.SilentFaults
 }
 
 // MemOps returns total shared-memory word operations.

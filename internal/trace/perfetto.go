@@ -62,6 +62,12 @@ func (r *Recorder) BuildChromeTrace() ChromeTrace {
 		meta("process_name", pidTCUs, 0, "TCUs"),
 		meta("process_name", pidCounters, 0, "utilization"),
 	}
+	for _, ev := range r.Events {
+		if ev.Kind == EvFault {
+			evs = append(evs, meta("thread_name", pidMachine, 1, "faults"))
+			break
+		}
+	}
 
 	// Name each TCU lane once, in TCU order for determinism.
 	lanes := map[int32]int32{} // tcu -> cluster
@@ -145,6 +151,12 @@ func (r *Recorder) BuildChromeTrace() ChromeTrace {
 				Name: "noc", Ph: "i", Ts: float64(ev.Start),
 				Pid: pidTCUs, Tid: int(ev.TCU), S: "t",
 				Args: map[string]any{"dst_module": ev.Aux, "cycles": ev.End - ev.Start},
+			})
+		case EvFault:
+			evs = append(evs, ChromeTraceEvent{
+				Name: FaultKind(ev.Aux).Name(), Ph: "i", Ts: float64(ev.Start),
+				Pid: pidMachine, Tid: 1, S: "t",
+				Args: map[string]any{"site": ev.TCU, "info": ev.ID},
 			})
 		}
 	}

@@ -6,6 +6,28 @@ import (
 	"strings"
 )
 
+// writeFaultCounts prints one line tallying EvFault events by kind, or
+// nothing when the run recorded no faults.
+func (r *Recorder) writeFaultCounts(w io.Writer) error {
+	counts := map[FaultKind]uint64{}
+	for i := range r.Events {
+		if r.Events[i].Kind == EvFault {
+			counts[FaultKind(r.Events[i].Aux)]++
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	parts := make([]string, 0, len(counts))
+	for k := FaultKind(0); k <= FaultClusterDead; k++ {
+		if n := counts[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k.Name(), n))
+		}
+	}
+	_, err := fmt.Fprintf(w, "faults: %s\n", strings.Join(parts, " "))
+	return err
+}
+
 // WriteSummary renders a flamegraph-style plain-text digest of the
 // recording: one bar per spawn/join section scaled by its share of
 // traced cycles, followed by thread-lifetime and epoch-utilization
@@ -18,6 +40,9 @@ func (r *Recorder) WriteSummary(w io.Writer) error {
 	}
 	if _, err := fmt.Fprintf(w, "trace %s: %d events, %d samples, %d sections\n",
 		label, len(r.Events), len(r.Samples), len(secs)); err != nil {
+		return err
+	}
+	if err := r.writeFaultCounts(w); err != nil {
 		return err
 	}
 	if len(secs) == 0 {

@@ -43,6 +43,10 @@ const (
 	// EvNoC is one packet traversal cluster->module (Start = injection,
 	// End = arrival, TCU = source cluster, Aux = destination module).
 	EvNoC
+	// EvFault is one fault-injection or resilience occurrence (Start =
+	// End = cycle, Aux = FaultKind, TCU = site, ID = kind-specific info:
+	// retry attempt, byte address, or thread count).
+	EvFault
 )
 
 // Flags for EvMemAccess.
@@ -64,6 +68,49 @@ const (
 	SegLoad
 	SegStore
 )
+
+// FaultKind classifies an EvFault occurrence.
+type FaultKind uint8
+
+const (
+	// FaultNoCDrop: a request packet was lost in flight (site = source
+	// cluster, ID = retry attempt number).
+	FaultNoCDrop FaultKind = iota
+	// FaultNoCCorrupt: a request packet arrived corrupted and was
+	// rejected by the receiver.
+	FaultNoCCorrupt
+	// FaultNoCGiveUp: the retransmit protocol exhausted its inline
+	// attempts and escalated to an event-level retry.
+	FaultNoCGiveUp
+	// FaultECCCorrected: DRAM single-bit error corrected by SECDED
+	// (site = memory module, ID = byte address).
+	FaultECCCorrected
+	// FaultECCUncorrectable: DRAM double-bit error detected but not
+	// correctable.
+	FaultECCUncorrectable
+	// FaultClusterDead: a cluster is fail-stopped and excluded from
+	// thread allocation (site = cluster).
+	FaultClusterDead
+)
+
+// Name returns the fault kind's display name.
+func (k FaultKind) Name() string {
+	switch k {
+	case FaultNoCDrop:
+		return "noc drop"
+	case FaultNoCCorrupt:
+		return "noc corrupt"
+	case FaultNoCGiveUp:
+		return "noc give-up"
+	case FaultECCCorrected:
+		return "ecc corrected"
+	case FaultECCUncorrectable:
+		return "ecc uncorrectable"
+	case FaultClusterDead:
+		return "cluster dead"
+	}
+	return "fault?"
+}
 
 // Name returns the segment kind's display name.
 func (k SegmentKind) Name() string {
@@ -203,6 +250,16 @@ func (r *Recorder) NoC(inject, arrive uint64, srcCluster, dstModule int) {
 	r.Events = append(r.Events, Event{
 		Kind: EvNoC, Start: inject, End: arrive,
 		TCU: int32(srcCluster), Aux: int32(dstModule)})
+}
+
+// Fault records one fault-injection or resilience occurrence at the
+// given cycle. site identifies the affected component (cluster or
+// memory module per kind); info carries the kind-specific payload
+// documented on the FaultKind constants.
+func (r *Recorder) Fault(cycle uint64, kind FaultKind, site int, info uint64) {
+	r.Events = append(r.Events, Event{
+		Kind: EvFault, Start: cycle, End: cycle,
+		Aux: int32(kind), TCU: int32(site), ID: int64(info)})
 }
 
 // AddSample appends one epoch sample and feeds the histogram series.

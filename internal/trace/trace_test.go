@@ -214,3 +214,69 @@ func TestWriteSummary(t *testing.T) {
 		t.Errorf("empty summary = %q", eb.String())
 	}
 }
+
+func TestFaultEventsExportAndValidate(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	rec.Spawn(0, 4, "faulty")
+	rec.Fault(10, trace.FaultNoCDrop, 3, 1)
+	rec.Fault(20, trace.FaultNoCCorrupt, 3, 2)
+	rec.Fault(30, trace.FaultNoCGiveUp, 3, 16)
+	rec.Fault(40, trace.FaultECCCorrected, 7, 4096)
+	rec.Fault(50, trace.FaultECCUncorrectable, 7, 8192)
+	rec.Fault(0, trace.FaultClusterDead, 5, 0)
+	rec.Join(60)
+
+	var buf bytes.Buffer
+	if err := rec.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("fault trace failed validation: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"noc drop", "noc corrupt", "noc give-up",
+		"ecc corrected", "ecc uncorrectable", "cluster dead", "faults",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perfetto export missing %q", want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "faults: noc drop=1") {
+		t.Errorf("summary missing fault tallies:\n%s", sb.String())
+	}
+
+	// No faults recorded: no "faults" lane metadata, no summary line.
+	clean := trace.NewRecorder(0)
+	clean.Spawn(0, 1, "clean")
+	clean.Join(10)
+	var cb bytes.Buffer
+	if err := clean.WritePerfetto(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cb.String(), `"faults"`) {
+		t.Error("clean trace advertises a faults lane")
+	}
+}
+
+func TestFaultKindNames(t *testing.T) {
+	names := map[trace.FaultKind]string{
+		trace.FaultNoCDrop:          "noc drop",
+		trace.FaultNoCCorrupt:       "noc corrupt",
+		trace.FaultNoCGiveUp:        "noc give-up",
+		trace.FaultECCCorrected:     "ecc corrected",
+		trace.FaultECCUncorrectable: "ecc uncorrectable",
+		trace.FaultClusterDead:      "cluster dead",
+		trace.FaultKind(250):        "fault?",
+	}
+	for k, want := range names {
+		if got := k.Name(); got != want {
+			t.Errorf("FaultKind(%d).Name() = %q, want %q", k, got, want)
+		}
+	}
+}

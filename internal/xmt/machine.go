@@ -89,6 +89,15 @@ type Machine struct {
 	// par is non-nil when the machine runs on the sharded parallel engine
 	// (NewParallel); the legacy single-queue path above is bypassed.
 	par *shardedMachine
+
+	// Resilience state (see fault.go): rnet is non-nil when NoC fault
+	// injection wraps the network (m.network aliases it), wd is the
+	// installed livelock watchdog, dead marks fail-stopped clusters (nil
+	// until the first kill). All nil/zero by default so the fault-free
+	// path costs only nil-guarded branches.
+	rnet *noc.Reliable
+	wd   *sim.Watchdog
+	dead []bool
 }
 
 // New builds a machine for cfg with a fresh memory system and network.
@@ -251,6 +260,10 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 	if m.par != nil {
 		return m.par.spawn(n, prog)
 	}
+	alive, err := m.aliveTCUs()
+	if err != nil {
+		return SpawnResult{}, err
+	}
 	m.syncMemCounters()
 	before := m.Counters
 	snap := m.Snapshot()
@@ -264,26 +277,47 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 		m.rec.Spawn(start, n, m.pendingLabel)
 		m.pendingLabel = ""
 	}
+	m.emitDeadClusters(start)
+	if m.rnet != nil {
+		m.rnet.Observer = nocFaultObserver(m.rec)
+	}
+	if m.wd != nil {
+		m.wd.Progress(start)
+	}
 
-	wave := m.cfg.TCUs
+	avail := m.cfg.TCUs
+	if alive != nil {
+		avail = len(alive)
+	}
+	wave := avail
 	if n < wave {
 		wave = n
 	}
 	m.outstanding = wave
-	if len(m.tcus) < wave {
-		m.tcus = append(m.tcus, make([]tcuState, wave-len(m.tcus))...)
+	need := wave
+	if alive != nil && wave > 0 {
+		need = alive[wave-1] + 1
+	}
+	if len(m.tcus) < need {
+		m.tcus = append(m.tcus, make([]tcuState, need-len(m.tcus))...)
 		for i := range m.tcus {
 			m.tcus[i].id = i
 			m.tcus[i].cluster = i / m.cfg.TCUsPerCluster
 		}
 	}
 	begin := start + SpawnBroadcastLatency
-	for i := 0; i < wave; i++ {
+	for k := 0; k < wave; k++ {
+		tcu := k
+		if alive != nil {
+			tcu = alive[k]
+		}
 		tid := m.nextTh
 		m.nextTh++
-		m.engine.AtCall(begin, m, opStart, uint64(i), uint64(tid))
+		m.engine.AtCall(begin, m, opStart, uint64(tcu), uint64(tid))
 	}
-	m.engine.Run()
+	if err := runGuarded(func() { m.engine.Run() }); err != nil {
+		return SpawnResult{}, err
+	}
 
 	end := m.lastDone
 	if end < begin {
@@ -314,6 +348,12 @@ func (m *Machine) syncMemCounters() {
 	m.Counters.NoCPackets = m.network.Packets()
 	m.Counters.Prefetches = m.memory.Prefetches()
 	m.Counters.RowHits, m.Counters.RowMisses = m.memory.RowBufferStats()
+	if m.rnet != nil {
+		m.Counters.NoCDropped = m.rnet.Drops
+		m.Counters.NoCCorrupted = m.rnet.Corrupts
+		m.Counters.NoCRetransmits = m.rnet.Retransmits
+	}
+	m.Counters.ECCCorrected, m.Counters.ECCUncorrectable, m.Counters.SilentFaults = m.memory.ECCStats()
 }
 
 // ExtendSpawn adds k virtual threads to the active parallel section
@@ -357,6 +397,12 @@ func subtract(c *stats.Counters, base stats.Counters) {
 	c.Prefetches -= base.Prefetches
 	c.RowHits -= base.RowHits
 	c.RowMisses -= base.RowMisses
+	c.NoCDropped -= base.NoCDropped
+	c.NoCCorrupted -= base.NoCCorrupted
+	c.NoCRetransmits -= base.NoCRetransmits
+	c.ECCCorrected -= base.ECCCorrected
+	c.ECCUncorrectable -= base.ECCUncorrectable
+	c.SilentFaults -= base.SilentFaults
 }
 
 // runThread generates thread tid's ops and begins executing its first
@@ -418,7 +464,15 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 				addr := t.buf[j].Addr
 				issue := cl.lsu.Grant(now)
 				dst := mem.HashAddress(addr, m.cfg.MemModules)
-				arrive := m.network.Traverse(issue, t.cluster, dst)
+				arrive, ok := m.traverse(issue, t.cluster, dst)
+				if !ok {
+					// Retransmit protocol gave up: escalate to an
+					// event-level retry that re-issues the whole group
+					// (requests already served in this pass are reissued —
+					// the group is the unit of recovery).
+					m.schedule(t, i, arrive)
+					return
+				}
 				res := m.memory.Access(arrive, addr, false)
 				ret := m.network.Reply(res.Done)
 				if ret > done {
@@ -430,10 +484,14 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 					m.rec.NoC(issue, arrive, t.cluster, dst)
 					m.rec.MemAccess(arrive, res.Done, t.id, dst, addr, false, res.Hit)
 				}
+				recordMemFault(m.rec, res.Done, res.Fault, dst, addr)
 				j++
 			}
 			if m.rec != nil {
 				m.rec.Segment(start, done, t.id, trace.SegLoad)
+			}
+			if m.wd != nil {
+				m.wd.Progress(done)
 			}
 			m.schedule(t, j, done)
 			return
@@ -446,7 +504,12 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 				addr := t.buf[j].Addr
 				issue = cl.lsu.Grant(issue)
 				dst := mem.HashAddress(addr, m.cfg.MemModules)
-				arrive := m.network.Traverse(issue, t.cluster, dst)
+				arrive, ok := m.traverse(issue, t.cluster, dst)
+				if !ok {
+					// Give-up: event-level retry re-issues the store group.
+					m.schedule(t, i, arrive)
+					return
+				}
 				res := m.memory.Access(arrive, addr, true)
 				if res.Done > m.lastDone {
 					m.lastDone = res.Done // join waits for store completion
@@ -457,6 +520,7 @@ func (m *Machine) execSegments(t *tcuState, i int, now uint64) {
 					m.rec.NoC(issue, arrive, t.cluster, dst)
 					m.rec.MemAccess(arrive, res.Done, t.id, dst, addr, true, res.Hit)
 				}
+				recordMemFault(m.rec, res.Done, res.Fault, dst, addr)
 				j++
 			}
 			now = issue + 1
@@ -513,6 +577,9 @@ func (m *Machine) schedule(t *tcuState, i int, at uint64) {
 func (m *Machine) threadDone(t *tcuState, now uint64) {
 	if now > m.lastDone {
 		m.lastDone = now
+	}
+	if m.wd != nil {
+		m.wd.Progress(now)
 	}
 	if m.rec != nil {
 		m.rec.ThreadRetire(now, t.id, t.tid)

@@ -63,6 +63,12 @@ const (
 	sopMemAccess
 	// sopPrefetch: a = address, b = module.
 	sopPrefetch
+	// sopRetransmit: a = index into shardedMachine.retries. Fires on the
+	// source shard after the retransmit protocol gave up on a request;
+	// re-emits the recorded msgMemReq with the event's cycle as the new
+	// issue time, keeping the event loop turning (so a pathological loss
+	// rate becomes a watchdog-detectable livelock, not a spin).
+	sopRetransmit
 )
 
 // shardTCU is one TCU's execution state on its owning shard.
@@ -107,6 +113,18 @@ type shardedMachine struct {
 	// coordRec collects coordinator-side trace events (NoC traversals)
 	// during a spawn; merged with the shard recorders at the join.
 	coordRec *trace.Recorder
+
+	// retries holds escalated (give-up) memory requests awaiting their
+	// sopRetransmit events. Appended only by the coordinator between
+	// windows and read by shard events during windows, so the engine's
+	// barrier ordering is the only synchronization needed.
+	retries []retryRec
+}
+
+// retryRec is one escalated memory request: the original msgMemReq
+// payload minus the issue cycle, which the retry event supplies.
+type retryRec struct {
+	addr, packedC, tcuD uint64
 }
 
 // Shards implements sim.Partition: one shard per cluster.
@@ -194,6 +212,10 @@ func (sm *shardedMachine) tcuOf(tcu int) (*machineShard, int) {
 // Validation (n >= 0, no active section) happened in Machine.Spawn.
 func (sm *shardedMachine) spawn(n int, prog Program) (SpawnResult, error) {
 	m := sm.m
+	alive, err := m.aliveTCUs()
+	if err != nil {
+		return SpawnResult{}, err
+	}
 	m.syncMemCounters()
 	before := m.Counters
 	snap := m.Snapshot()
@@ -210,23 +232,41 @@ func (sm *shardedMachine) spawn(n int, prog Program) (SpawnResult, error) {
 			sh.rec = trace.NewRecorder(0)
 		}
 	}
+	m.emitDeadClusters(start)
+	if m.rnet != nil {
+		m.rnet.Observer = nocFaultObserver(sm.coordRec)
+	}
+	if m.wd != nil {
+		m.wd.Progress(start)
+	}
+	sm.retries = sm.retries[:0]
 	for _, sh := range sm.shards {
 		sh.lastDone = 0
 	}
 
-	wave := m.cfg.TCUs
+	avail := m.cfg.TCUs
+	if alive != nil {
+		avail = len(alive)
+	}
+	wave := avail
 	if n < wave {
 		wave = n
 	}
 	m.outstanding = wave
 	begin := start + SpawnBroadcastLatency
-	for i := 0; i < wave; i++ {
+	for k := 0; k < wave; k++ {
+		tcu := k
+		if alive != nil {
+			tcu = alive[k]
+		}
 		tid := m.nextTh
 		m.nextTh++
-		sh, local := sm.tcuOf(i)
+		sh, local := sm.tcuOf(tcu)
 		sm.eng.Shard(sh.id).At(begin, sopStart, uint64(local), uint64(tid))
 	}
-	sm.eng.Run()
+	if err := runGuarded(func() { sm.eng.Run() }); err != nil {
+		return SpawnResult{}, err
+	}
 
 	end := begin
 	for _, sh := range sm.shards {
@@ -295,7 +335,25 @@ func (sm *shardedMachine) onBarrier(msgs []sim.Message) {
 			src := int(msg.C & 0xFFFF)
 			dst := int(msg.C >> 16 & 0xFFFF)
 			write := msg.C>>32&1 == 1
-			arrive := m.network.Traverse(issue, src, dst)
+			var arrive uint64
+			if m.rnet != nil {
+				var ok bool
+				arrive, ok = m.rnet.TraverseReliable(issue, src, dst)
+				if !ok {
+					// The retransmit protocol gave up on this request.
+					// Record it and schedule an event-level retry on the
+					// source shard, which re-emits the msgMemReq.
+					at := arrive
+					if at < sm.eng.Now() {
+						at = sm.eng.Now()
+					}
+					sm.eng.Shard(src).At(at, sopRetransmit, uint64(len(sm.retries)), 0)
+					sm.retries = append(sm.retries, retryRec{addr: addr, packedC: msg.C, tcuD: msg.D})
+					continue
+				}
+			} else {
+				arrive = m.network.Traverse(issue, src, dst)
+			}
 			if sm.coordRec != nil {
 				sm.coordRec.NoC(issue, arrive, src, dst)
 			}
@@ -319,12 +377,18 @@ func (sm *shardedMachine) onBarrier(msgs []sim.Message) {
 				if sh.rec != nil {
 					sh.rec.Segment(tc.segStart, tc.maxRet, tc.id, trace.SegLoad)
 				}
+				if m.wd != nil {
+					m.wd.Progress(tc.maxRet)
+				}
 				sm.eng.Shard(sh.id).At(tc.maxRet, sopResume, uint64(local), uint64(tc.i))
 			}
 		case msgThreadDone:
 			// The prefix-sum unit combines concurrent requests, so every
 			// retiring TCU gets the next id in deterministic merge order
 			// with constant latency — the no-busy-wait allocation scheme.
+			if m.wd != nil {
+				m.wd.Progress(msg.A)
+			}
 			if m.nextTh < m.totalTh {
 				tid := m.nextTh
 				m.nextTh++
@@ -355,6 +419,9 @@ func (sh *machineShard) Event(s *sim.Shard, t uint64, op uint8, a, b uint64) {
 		sh.memAccess(s, t, a, b)
 	case sopPrefetch:
 		sh.sm.m.memory.PrefetchInto(int(b), t, a)
+	case sopRetransmit:
+		r := sh.sm.retries[a]
+		s.Send(msgMemReq, t, r.addr, r.packedC, r.tcuD)
 	default:
 		panic(fmt.Sprintf("xmt: unknown shard event op %d", op))
 	}
@@ -469,6 +536,7 @@ func (sh *machineShard) memAccess(s *sim.Shard, t uint64, addr, packed uint64) {
 	if sh.rec != nil {
 		sh.rec.MemAccess(t, res.Done, tcu, module, addr, write, res.Hit)
 	}
+	recordMemFault(sh.rec, res.Done, res.Fault, module, addr)
 	if write {
 		if res.Done > sh.lastDone {
 			sh.lastDone = res.Done // join waits for store completion

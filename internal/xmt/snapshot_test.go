@@ -1,0 +1,105 @@
+package xmt
+
+import (
+	"testing"
+
+	"xmtfft/internal/config"
+)
+
+// Snapshot coverage for sharded mode: snapshots are defined to be read
+// at spawn boundaries (all shards parked), where they must be
+// bit-identical across worker counts, and the counters with an exact
+// cross-engine meaning must match the legacy serial engine too.
+
+// snapshotSuite runs the differential workload suite, capturing a
+// snapshot at every spawn boundary.
+func snapshotSuite(t *testing.T, m *Machine) []Snapshot {
+	t.Helper()
+	snaps := []Snapshot{m.Snapshot()}
+	for _, w := range diffWorkloads(m.Config().TCUs) {
+		m.EnablePrefetch(w.prefetch)
+		if _, err := m.Spawn(w.threads, w.prog); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		snaps = append(snaps, m.Snapshot())
+		m.AdvanceSerial(50)
+	}
+	return snaps
+}
+
+func TestShardedSnapshotWorkerCountInvariance(t *testing.T) {
+	cfg, err := config.FourK().Scaled(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) *Machine {
+		m, err := NewParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref := snapshotSuite(t, build(1))
+	for _, workers := range []int{2, 4} {
+		got := snapshotSuite(t, build(workers))
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d snapshots, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("workers=%d: snapshot %d diverged\n got %+v\nwant %+v",
+					workers, i, got[i], ref[i])
+			}
+		}
+	}
+	// Sanity: the suite actually consumed resources.
+	last := ref[len(ref)-1]
+	if last.FPUBusy == 0 || last.LSUBusy == 0 || last.DRAMBusy == 0 || last.NoCPackets == 0 {
+		t.Errorf("final snapshot has idle resources: %+v", last)
+	}
+}
+
+// TestSnapshotMatchesSerialEngineAtBoundaries compares the snapshot
+// counters with an exact cross-engine definition: FPUBusy (one slot per
+// FLOP), LSUBusy (one slot per load/store issue) and NoCPackets
+// (request + reply per load, request per store). DRAMBusy is excluded —
+// channel interleaving legitimately differs between the two engines'
+// canonical event orders (DESIGN.md §7).
+func TestSnapshotMatchesSerialEngineAtBoundaries(t *testing.T) {
+	cfg, err := config.FourK().Scaled(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := NewParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legSnaps := snapshotSuite(t, leg)
+	shdSnaps := snapshotSuite(t, shd)
+	for i := range legSnaps {
+		l, s := legSnaps[i], shdSnaps[i]
+		if l.FPUBusy != s.FPUBusy || l.LSUBusy != s.LSUBusy || l.NoCPackets != s.NoCPackets {
+			t.Errorf("boundary %d: legacy (fpu=%d lsu=%d noc=%d) vs sharded (fpu=%d lsu=%d noc=%d)",
+				i, l.FPUBusy, l.LSUBusy, l.NoCPackets, s.FPUBusy, s.LSUBusy, s.NoCPackets)
+		}
+	}
+	lc, sc := leg.Counters, shd.Counters
+	if lc.FPOps != sc.FPOps || lc.Loads != sc.Loads || lc.Stores != sc.Stores {
+		t.Errorf("op counts diverged: legacy %+v vs sharded %+v", lc, sc)
+	}
+	// The busy counters tie back to the op counts exactly.
+	last := shdSnaps[len(shdSnaps)-1]
+	if last.FPUBusy != sc.FPOps {
+		t.Errorf("FPUBusy %d != FPOps %d", last.FPUBusy, sc.FPOps)
+	}
+	if last.LSUBusy != sc.Loads+sc.Stores {
+		t.Errorf("LSUBusy %d != Loads+Stores %d", last.LSUBusy, sc.Loads+sc.Stores)
+	}
+	if want := 2*sc.Loads + sc.Stores; last.NoCPackets != want {
+		t.Errorf("NoCPackets %d != 2*Loads+Stores %d", last.NoCPackets, want)
+	}
+}
