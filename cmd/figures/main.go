@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -31,10 +32,15 @@ func main() {
 	tcus := flag.Int("tcus", 512, "machine size for the detailed timeline run")
 	n := flag.Int("n", 16, "cube size for the detailed timeline run")
 	traceEpoch := flag.Uint64("trace-epoch", 256, "utilization sampling interval in cycles for the heat strip")
+	logLevel := flag.String("log-level", "info", "log verbosity on stderr: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	flag.Parse()
 
 	if *traceEpoch == 0 {
 		fatal(fmt.Errorf("-trace-epoch must be positive"))
+	}
+	if _, err := harness.SetupLogger(*logLevel, *logJSON); err != nil {
+		fatal(err)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -89,6 +95,6 @@ func newMachineRun(cfg config.Config, n int, epoch uint64) (run stats.Run, rec *
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
+	slog.Error("figures failed", "err", err)
 	os.Exit(1)
 }

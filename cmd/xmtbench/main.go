@@ -16,24 +16,37 @@
 // engine at several -sim-bench-workers counts, and the wall-clock
 // results are written as a BENCH_sim.json perf record.
 //
+// With -obs-bench the observability layer itself is measured: the same
+// workload with observability off, with engine telemetry, and with the
+// full live-metrics surface, written as a BENCH_obs.json perf record
+// that also carries the metric-primitive microbenchmarks (the
+// zero-alloc hot-path contract).
+//
+// With -serve-obs the ablation run additionally serves live
+// observability — /metrics (OpenMetrics), /progress (JSON with
+// events/sec and an ETA) and /debug/pprof/* — so a long detailed run
+// can be watched in flight.
+//
 // Usage:
 //
 //	xmtbench                  # defaults: 4k scaled to 1024 TCUs, 32^3
 //	xmtbench -tcus 512 -n 16  # small size (the CI smoke path)
 //	xmtbench -sim-workers 4   # ablations on the sharded engine
+//	xmtbench -serve-obs :9100 # watch the run: curl :9100/metrics
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 //	xmtbench -host-bench BENCH_fft.json -host-n 128,256
 //	xmtbench -sim-bench BENCH_sim.json -sim-bench-workers 1,2,4
 //	xmtbench -fault-bench BENCH_fault.json -fault-rates 0.005,0.02,0.05
+//	xmtbench -obs-bench BENCH_obs.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
-	"runtime"
-	"runtime/pprof"
+	"time"
 
 	"xmtfft/internal/baseline"
 	"xmtfft/internal/harness"
@@ -59,6 +72,13 @@ func main() {
 	faultBench := flag.String("fault-bench", "", "measure resilience overhead (cycles/GFLOPS vs fault rate) on the FFT workload and write a BENCH_fault.json perf record to this path ('-' for stdout)")
 	faultRates := flag.String("fault-rates", "0.005,0.02,0.05", "comma-separated fault rates for -fault-bench (rate 0 baseline is always included)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection streams of -fault-bench")
+	serveObs := flag.String("serve-obs", "", "serve live observability (/metrics, /progress, /debug/pprof) on this address during the ablation run, e.g. :9100")
+	obsSnapshot := flag.String("obs-snapshot", "", "periodically write the OpenMetrics exposition to this path (atomic replace)")
+	obsSnapshotEvery := flag.Duration("obs-snapshot-every", 10*time.Second, "interval between -obs-snapshot writes")
+	obsEpoch := flag.Uint64("obs-epoch", 4096, "live-metrics sampling interval in simulated cycles for -serve-obs / -obs-snapshot")
+	obsBench := flag.String("obs-bench", "", "measure observability overhead (off vs telemetry vs live) and write a BENCH_obs.json perf record to this path ('-' for stdout)")
+	logLevel := flag.String("log-level", "info", "log verbosity on stderr: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
@@ -68,35 +88,28 @@ func main() {
 		simBench: *simBench, simBenchWorkers: *simBenchWorkers,
 		hostBench: *hostBench, hostSizes: *hostSizes,
 		faultBench: *faultBench, faultRates: *faultRates,
+		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
+		obsSnapshotEvery: *obsSnapshotEvery, obsEpoch: *obsEpoch,
+		obsBench: *obsBench,
 	}); err != nil {
 		usageError(err)
 	}
+	if _, err := harness.SetupLogger(*logLevel, *logJSON); err != nil {
+		usageError(err)
+	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+		if *memProfile != "" {
 			fmt.Println("wrote", *memProfile)
-		}()
-	}
+		}
+	}()
 
 	if *hostBench != "" {
 		if err := runHostBench(*hostBench, *hostSizes, *hostWorkers, *hostReps); err != nil {
@@ -116,12 +129,38 @@ func main() {
 		}
 		return
 	}
+	if *obsBench != "" {
+		if err := runObsBench(*obsBench, *tcus, *n, *simReps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var obs *harness.Obs
+	if *serveObs != "" || *obsSnapshot != "" {
+		obs = harness.NewObs()
+		obs.Epoch = *obsEpoch
+		if *serveObs != "" {
+			addr, err := obs.Serve(*serveObs)
+			if err != nil {
+				fatal(err)
+			}
+			slog.Info("observability server listening", "addr", addr,
+				"endpoints", "/metrics /progress /debug/pprof/")
+		}
+		if *obsSnapshot != "" {
+			obs.StartSnapshots(*obsSnapshot, *obsSnapshotEvery, func(err error) {
+				slog.Warn("metrics snapshot failed", "err", err)
+			})
+		}
+		defer obs.Close()
+	}
 
 	epoch := uint64(0)
 	if *tracePath != "" || *utilSVG != "" {
 		epoch = *traceEpoch
 	}
-	rec, err := harness.AblationReportTraceWorkers(os.Stdout, *tcus, *n, epoch, *simWorkers)
+	rec, err := harness.AblationReportObs(os.Stdout, *tcus, *n, epoch, *simWorkers, obs)
 	if err != nil {
 		fatal(err)
 	}
@@ -204,6 +243,26 @@ func runSimBench(path, workerList string, tcus, n, reps int) error {
 	return writeRecord(path, rec.Write)
 }
 
+// runObsBench measures observability overhead and writes BENCH_obs.json.
+func runObsBench(path string, tcus, n, reps int) error {
+	rec, err := harness.RunObsBench(tcus, n, reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rec.Results {
+		fmt.Printf("%-10s %10.4fs  %12d cycles  %9.0f events/s  %+6.2f%%\n",
+			r.Mode, r.ElapsedSec, r.Cycles, r.EventsPerSec, r.OverheadPct)
+	}
+	hp := rec.HotPath
+	fmt.Printf("hot path: counter add %.1f ns (%.0f allocs), gauge set %.1f ns (%.0f allocs), histogram observe %.1f ns (%.0f allocs), encode %.0f ns\n",
+		hp.CounterAddNs, hp.CounterAddAllocs, hp.GaugeSetNs, hp.GaugeSetAllocs,
+		hp.HistogramObserveNs, hp.HistObserveAllocs, hp.EncodeNs)
+	if rec.Note != "" {
+		fmt.Println("note:", rec.Note)
+	}
+	return writeRecord(path, rec.Write)
+}
+
 // runFaultBench measures resilience overhead and writes BENCH_fault.json.
 func runFaultBench(path, rateList string, tcus, n, workers int, seed uint64) error {
 	rates, err := parseRateList("-fault-rates", rateList)
@@ -224,8 +283,12 @@ func runFaultBench(path, rateList string, tcus, n, workers int, seed uint64) err
 	return writeRecord(path, rec.Write)
 }
 
+// fatal reports a runtime failure through the structured logger (text
+// or JSON per -log-json) and exits with status 1. Usage errors keep
+// plain stderr output (usageError) because they can occur before the
+// logger is configured.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xmtbench:", err)
+	slog.Error("xmtbench failed", "err", err)
 	os.Exit(1)
 }
 

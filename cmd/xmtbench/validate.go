@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"xmtfft/internal/fft"
 )
@@ -32,6 +33,12 @@ type cliFlags struct {
 	hostSizes       string
 	faultBench      string
 	faultRates      string
+	obsBench        string
+
+	serveObs         string
+	obsSnapshot      string
+	obsSnapshotEvery time.Duration
+	obsEpoch         uint64
 }
 
 // parseIntList parses a comma-separated integer list flag.
@@ -113,6 +120,17 @@ func validateFlags(f cliFlags) error {
 		if _, err := parseRateList("-fault-rates", f.faultRates); err != nil {
 			return err
 		}
+	}
+	if f.serveObs != "" || f.obsSnapshot != "" {
+		if f.hostBench != "" || f.simBench != "" || f.faultBench != "" || f.obsBench != "" {
+			return fmt.Errorf("-serve-obs and -obs-snapshot watch the ablation run and cannot be combined with a bench mode")
+		}
+		if f.obsEpoch == 0 {
+			return fmt.Errorf("-obs-epoch must be positive when -serve-obs or -obs-snapshot is set")
+		}
+	}
+	if f.obsSnapshot != "" && f.obsSnapshotEvery <= 0 {
+		return fmt.Errorf("-obs-snapshot-every must be positive, got %v", f.obsSnapshotEvery)
 	}
 	return nil
 }

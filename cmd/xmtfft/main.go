@@ -16,10 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/pprof"
+	"time"
 
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
@@ -51,6 +51,12 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 0, "simulation worker count: 0 = legacy serial engine, >= 1 = sharded parallel engine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	serveObs := flag.String("serve-obs", "", "serve live observability (/metrics, /progress, /debug/pprof) on this address while the simulation runs, e.g. :9100")
+	obsSnapshot := flag.String("obs-snapshot", "", "periodically write the OpenMetrics exposition to this path (atomic replace)")
+	obsSnapshotEvery := flag.Duration("obs-snapshot-every", 10*time.Second, "interval between -obs-snapshot writes")
+	obsEpoch := flag.Uint64("obs-epoch", 4096, "live-metrics sampling interval in simulated cycles for -serve-obs / -obs-snapshot")
+	logLevel := flag.String("log-level", "info", "log verbosity on stderr: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection streams")
 	faultNoCDrop := flag.Float64("fault-noc-drop", 0, "per-packet NoC drop probability (recovered by retransmit)")
 	faultNoCCorrupt := flag.Float64("fault-noc-corrupt", 0, "per-packet NoC corruption probability (detected by CRC, recovered by retransmit)")
@@ -64,38 +70,30 @@ func main() {
 	if err := validateFlags(cliFlags{
 		n: *n, dims: *dims, radix: *radix, simWorkers: *simWorkers, tcus: *tcus,
 		model: *useModel, tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
+		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
+		obsSnapshotEvery: *obsSnapshotEvery, obsEpoch: *obsEpoch,
 		faultNoCDrop: *faultNoCDrop, faultNoCCorrupt: *faultNoCCorrupt,
 		faultDRAMBER: *faultDRAMBER, faultDRAMDBER: *faultDRAMDBER,
 		faultKill: *faultKill, watchdogWindow: *watchdogWindow,
 	}); err != nil {
 		usageError(err)
 	}
+	if _, err := harness.SetupLogger(*logLevel, *logJSON); err != nil {
+		usageError(err)
+	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	stopProfiles, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+		if *memProfile != "" {
 			fmt.Println("wrote", *memProfile)
-		}()
-	}
+		}
+	}()
 
 	cfg, err := config.ByName(*cfgName)
 	if err != nil {
@@ -148,6 +146,27 @@ func main() {
 	if *watchdogWindow > 0 {
 		m.SetWatchdog(*watchdogWindow)
 	}
+	var obs *harness.Obs
+	if *serveObs != "" || *obsSnapshot != "" {
+		obs = harness.NewObs()
+		obs.Epoch = *obsEpoch
+		if *serveObs != "" {
+			addr, err := obs.Serve(*serveObs)
+			if err != nil {
+				fatal(err)
+			}
+			slog.Info("observability server listening", "addr", addr,
+				"endpoints", "/metrics /progress /debug/pprof/")
+		}
+		if *obsSnapshot != "" {
+			obs.StartSnapshots(*obsSnapshot, *obsSnapshotEvery, func(err error) {
+				slog.Warn("metrics snapshot failed", "err", err)
+			})
+		}
+		obs.SetWork(1)
+		obs.Watch(m)
+		defer obs.Close()
+	}
 	var rec *trace.Recorder
 	if *tracePath != "" || *utilSVG != "" {
 		rec = trace.NewRecorder(*traceEpoch)
@@ -187,6 +206,10 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if obs != nil {
+		m.FlushLiveMetrics()
+		obs.AddWork(1)
 	}
 	util := m.UtilizationSince(before)
 	cycles := run.TotalCycles()
@@ -238,8 +261,12 @@ func main() {
 	}
 }
 
+// fatal reports a runtime failure through the structured logger (text
+// or JSON per -log-json) and exits with status 1. Usage errors keep
+// plain stderr output (usageError) because they can occur before the
+// logger is configured.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xmtfft:", err)
+	slog.Error("xmtfft failed", "err", err)
 	os.Exit(1)
 }
 

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"time"
 
 	"xmtfft/internal/fft"
 )
@@ -24,6 +25,11 @@ type cliFlags struct {
 	tracePath  string
 	utilSVG    string
 	traceEpoch uint64
+
+	serveObs         string
+	obsSnapshot      string
+	obsSnapshotEvery time.Duration
+	obsEpoch         uint64
 
 	faultNoCDrop    float64
 	faultNoCCorrupt float64
@@ -66,6 +72,15 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.model && (f.tracePath != "" || f.utilSVG != "") {
 		return fmt.Errorf("-trace and -util-svg require detailed simulation (drop -model)")
+	}
+	if f.model && (f.serveObs != "" || f.obsSnapshot != "") {
+		return fmt.Errorf("-serve-obs and -obs-snapshot require detailed simulation (drop -model)")
+	}
+	if (f.serveObs != "" || f.obsSnapshot != "") && f.obsEpoch == 0 {
+		return fmt.Errorf("-obs-epoch must be positive when -serve-obs or -obs-snapshot is set")
+	}
+	if f.obsSnapshot != "" && f.obsSnapshotEvery <= 0 {
+		return fmt.Errorf("-obs-snapshot-every must be positive, got %v", f.obsSnapshotEvery)
 	}
 	for _, r := range []struct {
 		name string

@@ -418,6 +418,15 @@ func AblationReportTrace(w io.Writer, tcus, n int, epoch uint64) (*trace.Recorde
 // simulation worker count (0 = legacy serial engine, >= 1 = sharded
 // parallel engine).
 func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers int) (*trace.Recorder, error) {
+	return AblationReportObs(w, tcus, n, epoch, workers, nil)
+}
+
+// AblationReportObs is AblationReportTraceWorkers with an optional live
+// observability surface: when obs is non-nil, every variant's machine
+// is attached to it (live metrics sampling plus engine telemetry, both
+// cumulative across the sweep) and each finished variant ticks one work
+// unit so /progress can show an ETA. A nil obs is the plain report.
+func AblationReportObs(w io.Writer, tcus, n int, epoch uint64, workers int, obs *Obs) (*trace.Recorder, error) {
 	cfg, err := config.FourK().Scaled(tcus)
 	if err != nil {
 		return nil, err
@@ -439,6 +448,9 @@ func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers 
 	t := tw(w)
 	fmt.Fprintf(t, "ABLATIONS (§IV-A design choices): %d^3 FFT on %s\n", n, cfg)
 	fmt.Fprintln(t, "variant\tcycles\tGFLOPS (5NlogN)\trelative time")
+	if obs != nil {
+		obs.SetWork(len(variants))
+	}
 	var base uint64
 	var rec *trace.Recorder
 	for vi, v := range variants {
@@ -450,6 +462,10 @@ func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers 
 			rec = trace.NewRecorder(epoch)
 			rec.Label = fmt.Sprintf("%s ablation baseline", cfg.Name)
 			m.AttachRecorder(rec)
+		}
+		if obs != nil {
+			obs.Watch(m)
+			m.Section(v.name)
 		}
 		m.EnablePrefetch(v.prefetch)
 		tr, err := core.New3D(m, n, n, n)
@@ -476,6 +492,10 @@ func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers 
 		cycles := run.TotalCycles()
 		if base == 0 {
 			base = cycles
+		}
+		if obs != nil {
+			m.FlushLiveMetrics()
+			obs.AddWork(1)
 		}
 		fmt.Fprintf(t, "%s\t%d\t%.2f\t%.2fx\n", v.name, cycles,
 			stats.StandardGFLOPS(total, cycles, config.ClockGHz),

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds the CLIs' structured logger: level is one of
+// "debug", "info", "warn", "error" (case-sensitive, matching the flag
+// documentation); jsonOut selects JSON lines over the human text
+// handler. The logger writes to w (the CLIs pass os.Stderr, keeping
+// stdout reserved for result tables and records) and is installed as
+// slog's default so library code can log without plumbing.
+func NewLogger(w io.Writer, level string, jsonOut bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// SetupLogger is NewLogger on stderr — the form the CLIs call from
+// their -log-level/-log-json flags.
+func SetupLogger(level string, jsonOut bool) (*slog.Logger, error) {
+	return NewLogger(os.Stderr, level, jsonOut)
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// StartProfiles starts the shared -cpuprofile/-memprofile handling of
+// the CLIs: an empty path disables that profile. It returns a stop
+// function for the caller to run on exit (typically deferred), which
+// finishes the CPU profile and writes the heap profile after a final
+// GC. Both CLIs use this one helper instead of the previously
+// copy-pasted setup, and the same pprof machinery backs the live
+// /debug/pprof endpoints (see RegisterPprof).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := runtimepprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			runtimepprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := runtimepprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// RegisterPprof mounts the standard /debug/pprof/* handlers on mux.
+// Registered explicitly on the observability server's private mux
+// (rather than importing net/http/pprof for its DefaultServeMux side
+// effect) so nothing leaks onto the default mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

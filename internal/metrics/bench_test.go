@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path benchmarks back the zero-alloc contract: instrumented
+// simulation code calls Counter.Add / Gauge.Set / Histogram.Observe per
+// event or per window, so any allocation here would show up as GC
+// pressure on multi-hour runs. CI asserts allocs/op == 0 via the
+// -benchmem output recorded in BENCH_obs.json; TestHotPathZeroAlloc
+// asserts it directly on every test run.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_events", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	reg := NewRegistry()
+	g := reg.Gauge("bench_cycle", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_lat", "x", 1, 8, 64, 512, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkVecWithCached(b *testing.B) {
+	reg := NewRegistry()
+	v := reg.CounterVec("bench_ops", "x", "kind")
+	c := v.With("fp") // resolved once, as hot code is required to do
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkWriteOpenMetrics(b *testing.B) {
+	reg := NewRegistry()
+	ms := NewMachineSet(reg)
+	_ = ms
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WriteOpenMetrics(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_events", "x")
+	g := reg.Gauge("test_cycle", "x")
+	h := reg.Histogram("test_lat", "x", 1, 8, 64)
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(7) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per op", n)
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"xmtfft/internal/stats"
+	"xmtfft/internal/trace"
+)
+
+// This file bridges the repo's existing measurement types onto the
+// registry: stats.Counters (operation mix + fault tallies),
+// stats.Histogram (queueing/lifetime distributions, exported as
+// summaries), and trace.Sample (epoch utilization). The simulator
+// keeps owning its tallies; the bridge mirrors them into registry
+// series with Counter.Set, so a scrape sees cumulative totals with
+// ordinary counter-reset semantics when a fresh machine attaches.
+
+// MachineSet is the fixed family of series one simulated machine (or a
+// sequence of machines in an ablation sweep) publishes. Handles are
+// resolved once at construction; the Set* methods are cheap atomic
+// stores safe to call from the simulation goroutine while scrapes read.
+type MachineSet struct {
+	ops    map[string]*Counter // kind → ops counter
+	faults map[string]*Counter // kind → fault counter
+
+	threads     *Counter
+	spawns      *Counter
+	cacheHits   *Counter
+	cacheMisses *Counter
+	dramBytes   *Counter
+	nocPackets  *Counter
+	prefetches  *Counter
+	rowHits     *Counter
+	rowMisses   *Counter
+
+	utilFPU     *Gauge
+	utilLSU     *Gauge
+	utilDRAM    *Gauge
+	hitRate     *Gauge
+	outstanding *Gauge
+	sampleCycle *Gauge
+	epochNoC    *Gauge
+
+	threadLife *Summary
+}
+
+// OpKinds are the label values of xmtfft_ops_total, in exposition order.
+var OpKinds = []string{"fp", "alu", "load", "store", "ps"}
+
+// FaultKinds are the label values of xmtfft_faults_total.
+var FaultKinds = []string{
+	"noc_dropped", "noc_corrupted", "noc_retransmit",
+	"ecc_corrected", "ecc_uncorrectable", "silent",
+}
+
+// SummaryQuantiles are the ranks every bridged summary publishes.
+var SummaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// NewMachineSet registers the machine family on reg and returns cached
+// handles. Call once per registry; duplicate registration panics.
+func NewMachineSet(reg *Registry) *MachineSet {
+	s := &MachineSet{
+		ops:    make(map[string]*Counter, len(OpKinds)),
+		faults: make(map[string]*Counter, len(FaultKinds)),
+	}
+	opsVec := reg.CounterVec("xmtfft_ops",
+		"Operations executed by the simulated machine, by kind.", "kind")
+	for _, k := range OpKinds {
+		s.ops[k] = opsVec.With(k)
+	}
+	faultVec := reg.CounterVec("xmtfft_faults",
+		"Injected-fault events observed by the resilience layer, by kind.", "kind")
+	for _, k := range FaultKinds {
+		s.faults[k] = faultVec.With(k)
+	}
+	s.threads = reg.Counter("xmtfft_threads", "Virtual threads executed.")
+	s.spawns = reg.Counter("xmtfft_spawns", "Spawn/join regions entered.")
+	s.cacheHits = reg.Counter("xmtfft_cache_hits", "Shared-cache hits.")
+	s.cacheMisses = reg.Counter("xmtfft_cache_misses", "Shared-cache misses.")
+	s.dramBytes = reg.Counter("xmtfft_dram_bytes", "Bytes transferred on DRAM channels.")
+	s.nocPackets = reg.Counter("xmtfft_noc_packets", "Packets injected into the interconnect.")
+	s.prefetches = reg.Counter("xmtfft_prefetches", "Cache lines fetched speculatively.")
+	s.rowHits = reg.Counter("xmtfft_dram_row_hits", "DRAM accesses hitting an open row buffer.")
+	s.rowMisses = reg.Counter("xmtfft_dram_row_misses", "DRAM accesses that had to open a row.")
+
+	s.utilFPU = reg.Gauge("xmtfft_util_fpu", "FPU utilization over the last sampled epoch (0..1).")
+	s.utilLSU = reg.Gauge("xmtfft_util_lsu", "LSU utilization over the last sampled epoch (0..1).")
+	s.utilDRAM = reg.Gauge("xmtfft_util_dram", "DRAM-channel utilization over the last sampled epoch (0..1).")
+	s.hitRate = reg.Gauge("xmtfft_cache_hit_rate", "Cache hit fraction over the last sampled epoch (0..1).")
+	s.outstanding = reg.Gauge("xmtfft_outstanding_threads", "Threads live or not yet allocated in the active parallel section.")
+	s.sampleCycle = reg.Gauge("xmtfft_sample_cycle", "Simulated cycle of the last utilization sample.")
+	s.epochNoC = reg.Gauge("xmtfft_epoch_noc_packets", "NoC packets injected during the last sampled epoch.")
+
+	s.threadLife = reg.Summary("xmtfft_thread_life_cycles",
+		"Thread lifetime distribution in simulated cycles.", SummaryQuantiles...)
+	return s
+}
+
+// SetCounters mirrors the machine's cumulative tallies (including the
+// fault-injection tallies that ride on stats.Counters) into the
+// registry.
+func (s *MachineSet) SetCounters(c stats.Counters) {
+	s.ops["fp"].Set(c.FPOps)
+	s.ops["alu"].Set(c.ALUOps)
+	s.ops["load"].Set(c.Loads)
+	s.ops["store"].Set(c.Stores)
+	s.ops["ps"].Set(c.PSOps)
+	s.threads.Set(c.Threads)
+	s.spawns.Set(c.Spawns)
+	s.cacheHits.Set(c.CacheHits)
+	s.cacheMisses.Set(c.CacheMisses)
+	s.dramBytes.Set(c.DRAMBytes)
+	s.nocPackets.Set(c.NoCPackets)
+	s.prefetches.Set(c.Prefetches)
+	s.rowHits.Set(c.RowHits)
+	s.rowMisses.Set(c.RowMisses)
+	s.faults["noc_dropped"].Set(c.NoCDropped)
+	s.faults["noc_corrupted"].Set(c.NoCCorrupted)
+	s.faults["noc_retransmit"].Set(c.NoCRetransmits)
+	s.faults["ecc_corrected"].Set(c.ECCCorrected)
+	s.faults["ecc_uncorrectable"].Set(c.ECCUncorrectable)
+	s.faults["silent"].Set(c.SilentFaults)
+}
+
+// SetSample publishes one epoch utilization sample (the same values
+// internal/trace records for post-mortem export).
+func (s *MachineSet) SetSample(sm trace.Sample) {
+	s.utilFPU.Set(sm.FPU)
+	s.utilLSU.Set(sm.LSU)
+	s.utilDRAM.Set(sm.DRAM)
+	s.hitRate.Set(sm.HitRate)
+	s.outstanding.Set(float64(sm.Outstanding))
+	s.sampleCycle.SetUint(sm.Cycle)
+	s.epochNoC.SetUint(sm.NoCPackets)
+}
+
+// SetThreadLife publishes a quantile snapshot of a thread-lifetime
+// histogram (as kept by trace recorders).
+func (s *MachineSet) SetThreadLife(h *stats.Histogram) {
+	SummarizeHistogram(s.threadLife, h)
+}
+
+// SummarizeHistogram sets a registry summary from a stats.Histogram
+// snapshot, publishing the summary's configured quantile ranks.
+func SummarizeHistogram(dst *Summary, h *stats.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	ranks := dst.Quantiles()
+	values := make([]float64, len(ranks))
+	for i, q := range ranks {
+		values[i] = float64(h.Quantile(q))
+	}
+	dst.Set(h.Count(), h.Mean()*float64(h.Count()), values...)
+}

@@ -1,0 +1,69 @@
+// Command obscheck validates OpenMetrics exposition files with the
+// repo's strict parser and requires the observability acceptance
+// series: per-shard event counts and rates, utilization, faults and
+// the watchdog heartbeat. CI feeds it the mid-run scrape and the final
+// snapshot of an xmtbench -serve-obs run.
+//
+// Usage: go run ./internal/metrics/obscheck file.prom [file.prom ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xmtfft/internal/metrics"
+)
+
+// required are the series every live exposition must carry.
+var required = []struct {
+	name   string
+	labels map[string]string
+}{
+	{"xmtfft_sim_events_total", nil},
+	{"xmtfft_sim_events_per_second", nil},
+	{"xmtfft_sim_cycle", nil},
+	{"xmtfft_sim_pending_events", nil},
+	{"xmtfft_sim_shard_events_total", map[string]string{"shard": "0"}},
+	{"xmtfft_sim_shard_events_per_second", map[string]string{"shard": "0"}},
+	{"xmtfft_util_fpu", nil},
+	{"xmtfft_util_lsu", nil},
+	{"xmtfft_util_dram", nil},
+	{"xmtfft_faults_total", map[string]string{"kind": "silent"}},
+	{"xmtfft_watchdog_heartbeat_age_seconds", nil},
+	{"xmtfft_ops_total", map[string]string{"kind": "fp"}},
+}
+
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	exp, err := metrics.Parse(f)
+	if err != nil {
+		return fmt.Errorf("%s: invalid exposition: %w", path, err)
+	}
+	for _, r := range required {
+		if _, ok := exp.Value(r.name, r.labels); !ok {
+			return fmt.Errorf("%s: required series %s %v missing", path, r.name, r.labels)
+		}
+	}
+	if v, _ := exp.Value("xmtfft_sim_events_total", nil); v <= 0 {
+		return fmt.Errorf("%s: xmtfft_sim_events_total = %g, want > 0", path, v)
+	}
+	fmt.Printf("%s: ok (%d families)\n", path, len(exp.Families))
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck file.prom [file.prom ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -107,6 +107,9 @@ type Engine struct {
 	// Processed counts events executed; useful for progress reporting and
 	// for bounding runaway simulations in tests.
 	Processed uint64
+
+	tel        *Telemetry
+	telFlushed uint64 // Processed value at the last telemetry publish
 }
 
 // New returns an empty engine at cycle 0.
@@ -175,6 +178,9 @@ func (e *Engine) Step() bool {
 	} else {
 		ev.c.Call(ev.time, ev.op, ev.a, ev.b)
 	}
+	if e.tel != nil && (e.Processed-e.telFlushed >= telemetryBatch || len(e.events) == 0) {
+		e.publishTelemetry()
+	}
 	return true
 }
 
@@ -196,6 +202,9 @@ func (e *Engine) RunUntil(limit uint64) uint64 {
 			e.hook.Advance(e.now, limit)
 		}
 		e.now = limit
+		if e.tel != nil {
+			e.publishTelemetry()
+		}
 	}
 	return e.now
 }

@@ -289,6 +289,11 @@ type ParallelEngine struct {
 	// mergeBuckets is the per-cycle scatter space of collect, one bucket
 	// per window cycle, reused across windows.
 	mergeBuckets [][]Message
+
+	tel             *Telemetry
+	telShardFlushed []uint64 // per-shard Processed at the last shard sweep
+	telMsgFlushed   uint64
+	telWinFlushed   uint64
 }
 
 // NewParallelEngine builds an engine for p's shard count and lookahead.
@@ -391,6 +396,9 @@ func (e *ParallelEngine) Run() uint64 {
 	for {
 		start, ok := e.minNext()
 		if !ok {
+			if e.tel != nil {
+				e.publishShards()
+			}
 			return e.now
 		}
 		if e.wd != nil && e.wd.expired(start) {
@@ -420,6 +428,15 @@ func (e *ParallelEngine) Run() uint64 {
 			e.Messages += uint64(len(msgs))
 			e.barrier(msgs)
 		}
+		if e.tel != nil {
+			// Shards are parked at the barrier here, so a full sweep is
+			// race-free; the cheap frontier publish covers other windows.
+			if e.Windows%telemetryWindowStride == 0 {
+				e.publishShards()
+			} else {
+				e.publishWindow()
+			}
+		}
 	}
 }
 
@@ -445,6 +462,9 @@ func (e *ParallelEngine) AdvanceTo(t uint64) {
 			e.hook.Advance(e.now, t)
 		}
 		e.now = t
+	}
+	if e.tel != nil {
+		e.publishShards()
 	}
 }
 

@@ -145,6 +145,53 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(10), NewHistogram(10)
+	for _, v := range []uint64{0, 5, 9} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{10, 25, 99} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 6 || a.Max() != 99 {
+		t.Fatalf("merged count/max = %d/%d, want 6/99", a.Count(), a.Max())
+	}
+	if got, want := a.Mean(), (0.0+5+9+10+25+99)/6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged mean = %g, want %g", got, want)
+	}
+	// b is untouched by the merge.
+	if b.Count() != 3 || b.Max() != 99 {
+		t.Fatalf("source histogram mutated: count=%d max=%d", b.Count(), b.Max())
+	}
+}
+
+func TestHistogramMergeMismatchedWidths(t *testing.T) {
+	a := NewHistogram(10)
+	a.Observe(5)
+
+	// A nil or empty source is a no-op even with a different bucket
+	// width — the emptiness check deliberately precedes the width check,
+	// so zero-valued histograms from unrelated accumulators merge away
+	// harmlessly.
+	a.Merge(nil)
+	a.Merge(NewHistogram(7))
+	if a.Count() != 1 {
+		t.Fatalf("no-op merges changed the histogram: count=%d", a.Count())
+	}
+
+	// A non-empty source with a different width is a programming error
+	// and must panic rather than silently misbinning.
+	other := NewHistogram(7)
+	other.Observe(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging non-empty histograms with different bucket widths did not panic")
+		}
+	}()
+	a.Merge(other)
+}
+
 func TestHistogramStddev(t *testing.T) {
 	h := NewHistogram(1)
 	for _, v := range []uint64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -69,9 +69,12 @@ type Machine struct {
 
 	// Tracing state: rec is nil unless a recorder is attached; every
 	// emission site is guarded by a nil check so the disabled path costs
-	// one predictable branch (DESIGN.md §5).
+	// one predictable branch (DESIGN.md §5). live follows the same
+	// contract for the observability layer (see live.go); both observers
+	// share the engine's clock hook via installHook.
 	rec          *trace.Recorder
 	sampler      *epochSampler
+	live         *liveMetrics
 	pendingLabel string
 
 	// spawn-in-progress state
@@ -190,26 +193,22 @@ func (m *Machine) AttachRecorder(r *trace.Recorder) {
 	} else {
 		m.sampler = nil
 	}
-	if m.par != nil {
-		m.par.setRecorder(r, m.sampler)
-		return
-	}
-	if m.sampler != nil {
-		m.engine.SetHook(m.sampler)
-	} else {
-		m.engine.SetHook(nil)
-	}
+	m.installHook()
 }
 
 // Recorder returns the attached trace recorder, or nil.
 func (m *Machine) Recorder() *trace.Recorder { return m.rec }
 
-// Section labels the next Spawn in the trace (e.g. "fft r0 p2"). It is
-// a no-op without an attached recorder, so workloads may call it
-// unconditionally.
+// Section labels the next Spawn in the trace (e.g. "fft r0 p2") and,
+// when live metrics are attached, publishes the label as the current
+// phase for the /progress endpoint. It is a no-op without an attached
+// observer, so workloads may call it unconditionally.
 func (m *Machine) Section(name string) {
 	if m.rec != nil {
 		m.pendingLabel = name
+	}
+	if m.live != nil {
+		m.live.phase.Store(&name)
 	}
 }
 

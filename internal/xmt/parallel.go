@@ -185,17 +185,6 @@ func NewParallel(cfg config.Config, workers int) (*Machine, error) {
 	return m, nil
 }
 
-// setRecorder wires the epoch sampler (or removes it) as the window
-// hook; samples are taken at window barriers, where all shards are
-// parked and machine-wide state is consistent.
-func (sm *shardedMachine) setRecorder(r *trace.Recorder, sampler *epochSampler) {
-	if sampler != nil {
-		sm.eng.SetHook(sampler)
-	} else {
-		sm.eng.SetHook(nil)
-	}
-}
-
 // advance models serial-mode MTCU work between parallel sections.
 func (sm *shardedMachine) advance(cycles uint64) {
 	sm.eng.AdvanceTo(sm.now + cycles)

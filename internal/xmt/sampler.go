@@ -2,13 +2,24 @@ package xmt
 
 import "xmtfft/internal/trace"
 
-// epochSampler implements sim.Hook: every time the engine's clock
-// crosses an epoch boundary it snapshots the machine's cumulative
-// resource counters and records the epoch's utilization delta into the
-// attached recorder. Sampling happens between events (the hook fires
-// after the engine picks the next event time but before it executes),
-// so the sampler observes a consistent mid-run state without perturbing
-// the schedule.
+// epochState is the rolling delta state an epoch-based observer keeps
+// between samples: the previous resource snapshot and cache totals.
+// Both the trace epoch sampler and the live metrics sampler consume
+// Machine.utilSample with their own state, so the two observers report
+// identical utilization for identical epochs.
+type epochState struct {
+	prev       Snapshot
+	prevHits   uint64
+	prevMisses uint64
+}
+
+// newEpochState seeds the state from the machine's current totals.
+func newEpochState(m *Machine) epochState {
+	return epochState{prev: m.Snapshot(), prevHits: m.memory.Hits(), prevMisses: m.memory.Misses()}
+}
+
+// utilSample computes the utilization sample for the epoch ending at
+// cycle and rolls st forward.
 //
 // Granularity caveat, documented in DESIGN.md §5: resource ports book
 // grants at request time, possibly for cycles beyond the epoch boundary,
@@ -17,40 +28,12 @@ import "xmtfft/internal/trace"
 // exceeds capacity; fractions are clamped to 1, which front-loads
 // saturation into the epoch where the queue built up. The distortion
 // shrinks as the epoch grows relative to queue depth.
-type epochSampler struct {
-	m    *Machine
-	rec  *trace.Recorder
-	next uint64
-
-	prev       Snapshot
-	prevHits   uint64
-	prevMisses uint64
-}
-
-// newEpochSampler starts sampling at the next epoch boundary after the
-// machine's current cycle.
-func newEpochSampler(m *Machine, rec *trace.Recorder) *epochSampler {
-	s := &epochSampler{m: m, rec: rec, prev: m.Snapshot()}
-	s.prevHits, s.prevMisses = m.memory.Hits(), m.memory.Misses()
-	s.next = (m.Now()/rec.Epoch + 1) * rec.Epoch
-	return s
-}
-
-// Advance implements sim.Hook.
-func (s *epochSampler) Advance(prev, now uint64) {
-	for s.next <= now {
-		s.sample(s.next)
-		s.next += s.rec.Epoch
-	}
-}
-
-func (s *epochSampler) sample(cycle uint64) {
-	m := s.m
+func (m *Machine) utilSample(cycle, epoch uint64, st *epochState) trace.Sample {
 	cur := m.Snapshot()
 	cfg := m.cfg
-	epoch := float64(s.rec.Epoch)
+	ep := float64(epoch)
 	frac := func(busy uint64, units int) float64 {
-		f := float64(busy) / (epoch * float64(units))
+		f := float64(busy) / (ep * float64(units))
 		if f > 1 {
 			f = 1 // booked-ahead demand exceeding epoch capacity
 		}
@@ -58,7 +41,7 @@ func (s *epochSampler) sample(cycle uint64) {
 	}
 
 	hits, misses := m.memory.Hits(), m.memory.Misses()
-	dh, dm := hits-s.prevHits, misses-s.prevMisses
+	dh, dm := hits-st.prevHits, misses-st.prevMisses
 	hitRate := 1.0
 	if dh+dm > 0 {
 		hitRate = float64(dh) / float64(dh+dm)
@@ -73,15 +56,49 @@ func (s *epochSampler) sample(cycle uint64) {
 		outstanding += m.totalTh - m.nextTh
 	}
 
-	s.rec.AddSample(trace.Sample{
+	s := trace.Sample{
 		Cycle:       cycle,
-		FPU:         frac(cur.FPUBusy-s.prev.FPUBusy, cfg.Clusters*cfg.FPUsPerCluster),
-		LSU:         frac(cur.LSUBusy-s.prev.LSUBusy, cfg.Clusters*cfg.LSUsPerCluster),
-		DRAM:        frac(cur.DRAMBusy-s.prev.DRAMBusy, cfg.DRAMChannels()),
+		FPU:         frac(cur.FPUBusy-st.prev.FPUBusy, cfg.Clusters*cfg.FPUsPerCluster),
+		LSU:         frac(cur.LSUBusy-st.prev.LSUBusy, cfg.Clusters*cfg.LSUsPerCluster),
+		DRAM:        frac(cur.DRAMBusy-st.prev.DRAMBusy, cfg.DRAMChannels()),
 		HitRate:     hitRate,
 		Outstanding: outstanding,
-		NoCPackets:  cur.NoCPackets - s.prev.NoCPackets,
-	})
-	s.prev = cur
-	s.prevHits, s.prevMisses = hits, misses
+		NoCPackets:  cur.NoCPackets - st.prev.NoCPackets,
+	}
+	st.prev = cur
+	st.prevHits, st.prevMisses = hits, misses
+	return s
+}
+
+// epochSampler implements sim.Hook: every time the engine's clock
+// crosses an epoch boundary it snapshots the machine's cumulative
+// resource counters and records the epoch's utilization delta into the
+// attached recorder. Sampling happens between events (the hook fires
+// after the engine picks the next event time but before it executes),
+// so the sampler observes a consistent mid-run state without perturbing
+// the schedule.
+type epochSampler struct {
+	m    *Machine
+	rec  *trace.Recorder
+	next uint64
+	st   epochState
+}
+
+// newEpochSampler starts sampling at the next epoch boundary after the
+// machine's current cycle.
+func newEpochSampler(m *Machine, rec *trace.Recorder) *epochSampler {
+	return &epochSampler{
+		m:    m,
+		rec:  rec,
+		st:   newEpochState(m),
+		next: (m.Now()/rec.Epoch + 1) * rec.Epoch,
+	}
+}
+
+// Advance implements sim.Hook.
+func (s *epochSampler) Advance(prev, now uint64) {
+	for s.next <= now {
+		s.rec.AddSample(s.m.utilSample(s.next, s.rec.Epoch, &s.st))
+		s.next += s.rec.Epoch
+	}
 }
