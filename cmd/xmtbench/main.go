@@ -36,6 +36,7 @@
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 //	xmtbench -host-bench BENCH_fft.json -host-n 128,256
 //	xmtbench -sim-bench BENCH_sim.json -sim-bench-workers 1,2,4
+//	xmtbench -sim-bench BENCH_sim.json -sim-gate 1.5   # CI perf ratchet
 //	xmtbench -fault-bench BENCH_fault.json -fault-rates 0.005,0.02,0.05
 //	xmtbench -obs-bench BENCH_obs.json
 package main
@@ -60,6 +61,7 @@ func main() {
 	simBench := flag.String("sim-bench", "", "measure the simulator (legacy vs sharded engine) on the FFT workload and write a BENCH_sim.json perf record to this path ('-' for stdout)")
 	simBenchWorkers := flag.String("sim-bench-workers", "1,2,4", "comma-separated sharded worker counts for -sim-bench")
 	simReps := flag.Int("sim-reps", 3, "repetitions per -sim-bench point (best run kept)")
+	simGate := flag.Float64("sim-gate", 0, "with -sim-bench: exit non-zero when sharded workers=1 wall-clock exceeds this multiple of legacy (0 disables the gate)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the baseline variant to this path")
@@ -85,7 +87,7 @@ func main() {
 		tcus: *tcus, n: *n, simWorkers: *simWorkers, simReps: *simReps,
 		hostWorkers: *hostWorkers, hostReps: *hostReps,
 		tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
-		simBench: *simBench, simBenchWorkers: *simBenchWorkers,
+		simBench: *simBench, simBenchWorkers: *simBenchWorkers, simGate: *simGate,
 		hostBench: *hostBench, hostSizes: *hostSizes,
 		faultBench: *faultBench, faultRates: *faultRates,
 		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
@@ -118,7 +120,7 @@ func main() {
 		return
 	}
 	if *simBench != "" {
-		if err := runSimBench(*simBench, *simBenchWorkers, *tcus, *n, *simReps); err != nil {
+		if err := runSimBench(*simBench, *simBenchWorkers, *tcus, *n, *simReps, *simGate); err != nil {
 			fatal(err)
 		}
 		return
@@ -216,8 +218,10 @@ func runHostBench(path, sizeList string, workers, reps int) error {
 	return writeRecord(path, rec.Write)
 }
 
-// runSimBench measures the simulation engines and writes BENCH_sim.json.
-func runSimBench(path, workerList string, tcus, n, reps int) error {
+// runSimBench measures the simulation engines, writes BENCH_sim.json,
+// and (when gate > 0) fails if the 1-worker sharded run costs more than
+// gate times the legacy engine's wall-clock — the CI perf ratchet.
+func runSimBench(path, workerList string, tcus, n, reps int, gate float64) error {
 	workers, err := parseIntList("-sim-bench-workers", workerList)
 	if err != nil {
 		return err
@@ -231,8 +235,11 @@ func runSimBench(path, workerList string, tcus, n, reps int) error {
 		if r.Engine == "sharded" {
 			label = fmt.Sprintf("%s workers=%d", r.Engine, r.Workers)
 		}
-		fmt.Printf("%-20s %10.4fs  %12d cycles  %9.0f events/s\n",
-			label, r.ElapsedSec, r.Cycles, r.EventsPerSec)
+		fmt.Printf("%-20s %10.4fs  %12d cycles  %9.0f useful-events/s  (%d engine events)\n",
+			label, r.ElapsedSec, r.Cycles, r.UsefulEventsPerSec, r.Events)
+	}
+	if rec.OverheadVsLegacy > 0 {
+		fmt.Printf("overhead vs legacy (sharded workers=1): %.2fx\n", rec.OverheadVsLegacy)
 	}
 	for k, v := range rec.SpeedupVsSerialDriver {
 		fmt.Printf("speedup %s: %.2fx\n", k, v)
@@ -240,7 +247,19 @@ func runSimBench(path, workerList string, tcus, n, reps int) error {
 	if rec.Note != "" {
 		fmt.Println("note:", rec.Note)
 	}
-	return writeRecord(path, rec.Write)
+	if err := writeRecord(path, rec.Write); err != nil {
+		return err
+	}
+	if gate > 0 {
+		if rec.OverheadVsLegacy == 0 {
+			return fmt.Errorf("-sim-gate %.2f: overhead_vs_legacy is unavailable (no workers=1 run or sub-resolution timings); gate cannot be evaluated", gate)
+		}
+		if rec.OverheadVsLegacy > gate {
+			return fmt.Errorf("-sim-gate %.2f exceeded: sharded workers=1 is %.2fx legacy wall-clock", gate, rec.OverheadVsLegacy)
+		}
+		fmt.Printf("sim-gate ok: %.2fx <= %.2fx\n", rec.OverheadVsLegacy, gate)
+	}
+	return nil
 }
 
 // runObsBench measures observability overhead and writes BENCH_obs.json.

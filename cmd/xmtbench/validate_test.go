@@ -30,6 +30,10 @@ func TestValidateFlags(t *testing.T) {
 		{"bad sim-bench workers entry", func(f *cliFlags) { f.simBench = "-"; f.simBenchWorkers = "1,x" }, "-sim-bench-workers"},
 		{"zero sim-bench workers entry", func(f *cliFlags) { f.simBench = "-"; f.simBenchWorkers = "0" }, ">= 1"},
 		{"sim-bench list ignored when off", func(f *cliFlags) { f.simBenchWorkers = "garbage" }, ""},
+		{"negative sim gate", func(f *cliFlags) { f.simBench = "-"; f.simGate = -1 }, "-sim-gate"},
+		{"sim gate without bench", func(f *cliFlags) { f.simGate = 1.5 }, "requires -sim-bench"},
+		{"sim gate without workers=1", func(f *cliFlags) { f.simBench = "-"; f.simGate = 1.5; f.simBenchWorkers = "2,4" }, "must include 1"},
+		{"sim gate ok", func(f *cliFlags) { f.simBench = "-"; f.simGate = 1.5 }, ""},
 		{"bad host size entry", func(f *cliFlags) { f.hostBench = "-"; f.hostSizes = "128,nope" }, "-host-n"},
 		{"tiny host size", func(f *cliFlags) { f.hostBench = "-"; f.hostSizes = "1" }, ">= 2"},
 		{"bad fault rate entry", func(f *cliFlags) { f.faultBench = "-"; f.faultRates = "0.1,high" }, "-fault-rates"},

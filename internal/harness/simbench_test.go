@@ -53,10 +53,25 @@ func TestRunSimBench(t *testing.T) {
 	if rec.Results[0].Engine != "legacy" || rec.Results[0].Workers != 0 {
 		t.Fatalf("first result should be the legacy engine: %+v", rec.Results[0])
 	}
-	var shardedCycles uint64
+	var shardedCycles, usefulRef uint64
 	for _, r := range rec.Results {
 		if r.Cycles == 0 || r.Events == 0 {
 			t.Errorf("%s workers=%d: empty measurement %+v", r.Engine, r.Workers, r)
+		}
+		// Useful (model-level) events are a property of the workload, not
+		// the engine: every row must agree, or the throughput comparison
+		// is not apples-to-apples.
+		if r.UsefulEvents == 0 {
+			t.Errorf("%s workers=%d: zero useful events", r.Engine, r.Workers)
+		}
+		if usefulRef == 0 {
+			usefulRef = r.UsefulEvents
+		} else if r.UsefulEvents != usefulRef {
+			t.Errorf("%s workers=%d: useful events %d differ from %d — engines disagree on model work",
+				r.Engine, r.Workers, r.UsefulEvents, usefulRef)
+		}
+		if r.ElapsedSec > 0 && r.UsefulEventsPerSec == 0 {
+			t.Errorf("%s workers=%d: throughput not derived from useful events", r.Engine, r.Workers)
 		}
 		if r.Engine == "sharded" {
 			if shardedCycles == 0 {
@@ -67,6 +82,11 @@ func TestRunSimBench(t *testing.T) {
 			if r.Windows == 0 {
 				t.Errorf("sharded run reports zero windows")
 			}
+		}
+	}
+	if rec.Results[0].ElapsedSec > 0 && rec.Results[1].ElapsedSec > 0 {
+		if rec.OverheadVsLegacy <= 0 {
+			t.Errorf("overhead_vs_legacy missing despite measurable timings: %+v", rec)
 		}
 	}
 	if _, ok := rec.SpeedupVsSerialDriver["workers=2"]; !ok {

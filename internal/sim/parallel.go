@@ -1,11 +1,13 @@
 package sim
 
+import "fmt"
+
 // Conservative parallel discrete-event simulation (PDES) with time
 // windows. State is partitioned into shards that interact only through
 // boundary messages: within a window [T, T+W) every shard executes its
 // local events independently, and at the window barrier the coordinator
-// merges all emitted messages in deterministic (time, shard, seq) order
-// and converts them into future events. W (the lookahead) must not
+// merges all emitted messages in deterministic (time, shard, send order)
+// order and converts them into future events. W (the lookahead) must not
 // exceed the minimum cross-shard effect latency, so no message ever
 // needs to take effect inside the window it was sent in — the classic
 // conservative-synchronization safety condition. Under that condition
@@ -15,21 +17,24 @@ package sim
 // same barrier merges, making cycle counts and statistics bit-identical
 // for every worker count. See DESIGN.md §7.
 //
-// Per-shard pending events live in a calendar/bucket queue: a ring of
-// per-cycle FIFO buckets over a fixed horizon with a min-heap overflow
-// for far-future events. Scheduling and popping are O(1) amortized and
-// allocation-free in steady state, replacing the global binary heap of
-// the serial engine.
+// Per-shard pending events live in a slab-backed calendar queue: per-
+// cycle FIFO bucket chains over a fixed horizon whose records live in
+// one reusable flat slab (plus a min-heap overflow for far-future
+// events). Scheduling and popping are O(1), allocation-free in steady
+// state, and touch only two small contiguous arrays — the design exists
+// because the previous ring of 2048 independent []evRec slices put a
+// cache miss on nearly every push (it was the single hottest function
+// in the engine profile).
 
 // Message is one cross-shard event, emitted by a shard during a window
 // and delivered to the coordinator's barrier function at the end of that
 // window. Kind and the operand fields are opaque to the engine; Time,
-// Src and seq define the deterministic merge order.
+// Src and the position in the shard's outbox (shards emit in
+// nondecreasing time order) define the deterministic merge order.
 type Message struct {
 	Time       uint64 // sending event's cycle
 	Src        int32  // sending shard
 	Kind       uint8
-	seq        uint64 // per-shard send sequence, the within-cycle tiebreak
 	A, B, C, D uint64
 }
 
@@ -52,47 +57,128 @@ type Partition interface {
 	Lookahead() uint64
 }
 
-// evRec is one pooled event record in a shard queue.
-type evRec struct {
-	time uint64
-	seq  uint64 // insertion order, used by the overflow heap tiebreak
-	op   uint8
-	a, b uint64
-}
-
 // horizonCycles is the bucket ring span. Events further out than this go
 // to the overflow heap; with DRAM round-trips around 130 cycles nearly
 // all traffic stays in the ring.
 const horizonCycles = 2048
 
-// bucketQueue is a calendar queue: per-cycle FIFO buckets over
-// [base, base+horizon) plus a (time, seq) min-heap for events beyond the
-// horizon. base only moves forward, so each bucket holds events of
-// exactly one cycle at a time.
+// nilIdx terminates a bucket chain.
+const nilIdx = int32(-1)
+
+// noEvent is the cached next-event time of a shard with an empty queue.
+const noEvent = ^uint64(0)
+
+// slabRec is one bucketed event record in the shared slab. Bucketed
+// records carry no time (the bucket's cycle is the time) and no sequence
+// number (FIFO order is the chain order), so a record is 24 bytes
+// instead of the 40 the old per-bucket evRec cost.
+type slabRec struct {
+	a, b uint64
+	next int32 // next record in the same bucket chain, nilIdx at the tail
+	op   uint8
+}
+
+// evRec is one far-future event in the overflow heap, which does need
+// the absolute time and an insertion sequence for its (time, seq) order.
+type evRec struct {
+	time uint64
+	seq  uint64
+	op   uint8
+	a, b uint64
+}
+
+// bucketQueue is a slab-backed calendar queue: per-cycle FIFO bucket
+// chains over [base, base+horizon) plus a (time, seq) min-heap for
+// events beyond the horizon. The buckets themselves are flattened into
+// two parallel int32 arrays (head, tail) and all records share one
+// reusable slab with a LIFO freelist: pushing allocates nothing and
+// re-makes nothing, it links a recycled slab slot into a chain.
+//
+// Invariants (audited in slabqueue_test.go against a naive reference):
+//   - base only moves forward; every queued event has time >= base, so
+//     each bucket holds events of exactly one cycle at a time and the
+//     membership test `t-base < horizonCycles` is safe even when base
+//     approaches the top of the uint64 range (t >= base makes the
+//     subtraction wrap-free).
+//   - scan <= the earliest bucketed cycle, so min scans never walk
+//     backwards and never alias a bucket from a later ring lap.
+//   - overflow times are >= base+horizon after every advanceBase, so
+//     promotions always complete before a same-cycle direct push can
+//     occur, preserving FIFO-within-cycle across the two structures.
 type bucketQueue struct {
-	buckets  [horizonCycles][]evRec
+	head [horizonCycles]int32
+	tail [horizonCycles]int32
+	recs []slabRec
+	free []int32
+
 	base     uint64 // all queued events have time >= base
 	scan     uint64 // first cycle possibly holding a bucketed event
 	count    int    // bucketed + overflow
 	bucketed int
 	overflow recHeap
-	seq      uint64
+	seq      uint64 // overflow insertion order (heap tiebreak only)
+}
+
+// init readies the flattened bucket arrays (empty = nilIdx).
+func (q *bucketQueue) init() {
+	for i := range q.head {
+		q.head[i] = nilIdx
+		q.tail[i] = nilIdx
+	}
 }
 
 func (q *bucketQueue) push(t uint64, op uint8, a, b uint64) {
-	q.seq++
-	r := evRec{time: t, seq: q.seq, op: op, a: a, b: b}
-	if t < q.base+horizonCycles {
-		i := t % horizonCycles
-		q.buckets[i] = append(q.buckets[i], r)
-		q.bucketed++
+	if t-q.base < horizonCycles {
+		q.pushBucket(t, op, a, b)
+	} else {
+		q.seq++
+		q.overflow.push(evRec{time: t, seq: q.seq, op: op, a: a, b: b})
+	}
+	q.count++
+}
+
+// pushBucket links a record into the bucket chain of cycle t, recycling
+// a freed slab slot when one exists.
+func (q *bucketQueue) pushBucket(t uint64, op uint8, a, b uint64) {
+	var idx int32
+	if n := len(q.free) - 1; n >= 0 {
+		idx = q.free[n]
+		q.free = q.free[:n]
+	} else {
+		idx = int32(len(q.recs))
+		q.recs = append(q.recs, slabRec{})
+	}
+	q.recs[idx] = slabRec{a: a, b: b, next: nilIdx, op: op}
+	bkt := t % horizonCycles
+	if tl := q.tail[bkt]; tl >= 0 {
+		q.recs[tl].next = idx
+	} else {
+		q.head[bkt] = idx
 		if t < q.scan {
 			q.scan = t
 		}
-	} else {
-		q.overflow.push(r)
 	}
-	q.count++
+	q.tail[bkt] = idx
+	q.bucketed++
+}
+
+// minTime returns the earliest queued event time, or noEvent when the
+// queue is empty. It advances the scan pointer past empty buckets as a
+// side effect (safe: scan only skips cycles proven empty).
+func (q *bucketQueue) minTime() uint64 {
+	best := noEvent
+	if q.bucketed > 0 {
+		c := q.scan
+		for q.head[c%horizonCycles] < 0 {
+			c++
+		}
+		q.scan = c
+		best = c
+	}
+	if len(q.overflow) > 0 && q.overflow[0].time < best {
+		best = q.overflow[0].time
+	}
+	return best
 }
 
 // min returns the earliest queued event time; ok is false when empty.
@@ -100,17 +186,7 @@ func (q *bucketQueue) min() (uint64, bool) {
 	if q.count == 0 {
 		return 0, false
 	}
-	best := ^uint64(0)
-	if q.bucketed > 0 {
-		for len(q.buckets[q.scan%horizonCycles]) == 0 {
-			q.scan++
-		}
-		best = q.scan
-	}
-	if len(q.overflow) > 0 && q.overflow[0].time < best {
-		best = q.overflow[0].time
-	}
-	return best, true
+	return q.minTime(), true
 }
 
 // advanceBase moves the ring floor to t (all events below t must already
@@ -124,13 +200,11 @@ func (q *bucketQueue) advanceBase(t uint64) {
 	if q.scan < t {
 		q.scan = t
 	}
-	for len(q.overflow) > 0 && q.overflow[0].time < q.base+horizonCycles {
+	// Overflow times are >= base (events below base are already
+	// executed), so the wrap-free membership test applies here too.
+	for len(q.overflow) > 0 && q.overflow[0].time-q.base < horizonCycles {
 		r := q.overflow.pop()
-		q.buckets[r.time%horizonCycles] = append(q.buckets[r.time%horizonCycles], r)
-		q.bucketed++
-		if r.time < q.scan {
-			q.scan = r.time
-		}
+		q.pushBucket(r.time, r.op, r.a, r.b)
 	}
 }
 
@@ -195,7 +269,11 @@ type Shard struct {
 	now     uint64
 	q       bucketQueue
 	out     []Message
-	sendSeq uint64
+	// nextMin caches the earliest pending event time (noEvent when the
+	// queue is empty). At lowers it, runWindow recomputes it, and the
+	// engine's window loop reads it instead of rescanning bucket rings —
+	// the basis of the adaptive frontier jump and the idle-shard skip.
+	nextMin uint64
 	// Processed counts events executed on this shard.
 	Processed uint64
 }
@@ -212,25 +290,29 @@ func (s *Shard) Pending() int { return s.q.count }
 // barrier, which would violate the lookahead contract.
 func (s *Shard) At(t uint64, op uint8, a, b uint64) {
 	if t < s.now {
-		panic("sim: scheduling shard event in the past")
+		panic(fmt.Sprintf("sim: scheduling shard event in the past: t=%d now=%d shard=%d op=%d a=%d b=%d", t, s.now, s.ID, op, a, b))
+	}
+	if t < s.nextMin {
+		s.nextMin = t
 	}
 	s.q.push(t, op, a, b)
 }
 
 // Send emits a cross-shard message, delivered to the engine's barrier
 // function at the end of the current window. The message is stamped with
-// the sending event's cycle and a per-shard sequence number, which
-// together with the shard ID define the deterministic merge order.
+// the sending event's cycle; because a shard executes events in
+// nondecreasing time order, its outbox is time-sorted by construction
+// and the outbox position is the within-cycle tiebreak — no per-message
+// sequence number is stored.
 func (s *Shard) Send(kind uint8, a, b, c, d uint64) {
-	s.sendSeq++
 	s.out = append(s.out, Message{
-		Time: s.now, Src: int32(s.ID), Kind: kind, seq: s.sendSeq,
+		Time: s.now, Src: int32(s.ID), Kind: kind,
 		A: a, B: b, C: c, D: d,
 	})
 }
 
 // runWindow executes this shard's events with time in [start, end),
-// leaving the shard clock at end.
+// leaving the shard clock at end and the cached nextMin exact.
 func (s *Shard) runWindow(start, end uint64) {
 	q := &s.q
 	if s.now < start {
@@ -242,26 +324,37 @@ func (s *Shard) runWindow(start, end uint64) {
 	// window < horizon is checked at construction).
 	q.advanceBase(start)
 	for q.bucketed > 0 {
-		t, ok := q.min()
-		if !ok || t >= end {
+		c := q.scan
+		for q.head[c%horizonCycles] < 0 {
+			c++
+		}
+		q.scan = c
+		if c >= end {
 			break
 		}
-		s.now = t
-		b := t % horizonCycles
-		// Index the bucket fresh each iteration: the handler may append
-		// same-cycle events, growing (and possibly reallocating) it.
-		for j := 0; j < len(q.buckets[b]); j++ {
-			r := q.buckets[b][j]
+		s.now = c
+		b := c % horizonCycles
+		// Walk the bucket chain; the handler may append same-cycle
+		// events, which link themselves behind the current record, so the
+		// chain link is re-read only after the handler has run (and the
+		// slab may have been reallocated by a push — index it fresh).
+		for cur := q.head[b]; cur >= 0; cur = q.head[b] {
+			r := q.recs[cur]
 			s.Processed++
-			s.handler.Event(s, t, r.op, r.a, r.b)
+			s.handler.Event(s, c, r.op, r.a, r.b)
+			nxt := q.recs[cur].next
+			q.head[b] = nxt
+			if nxt < 0 {
+				q.tail[b] = nilIdx
+			}
+			q.free = append(q.free, cur)
+			q.bucketed--
+			q.count--
 		}
-		n := len(q.buckets[b])
-		q.buckets[b] = q.buckets[b][:0]
-		q.bucketed -= n
-		q.count -= n
 	}
 	s.now = end
 	q.advanceBase(end)
+	s.nextMin = q.minTime()
 }
 
 // ParallelEngine advances a set of shards under conservative time
@@ -281,14 +374,28 @@ type ParallelEngine struct {
 	// execution is identical either way, results do not depend on it.
 	Workers int
 
-	// Window/merge statistics for perf diagnostics.
+	// WidenWindows (default true, set by NewParallelEngine) enables the
+	// adaptive window driver: the frontier jumps straight to the cached
+	// per-shard minimum instead of rescanning every bucket ring, shards
+	// with no events inside the window are skipped entirely, and windows
+	// that emitted no cross-shard traffic coalesce into the running
+	// stretch without barrier accounting. When false the engine uses the
+	// conservative reference driver — every window rescans every queue
+	// and steps every shard — which executes the exact same events in
+	// the exact same order; the differential tests assert bit-identical
+	// results between the two drivers at several worker counts.
+	WidenWindows bool
+
+	// Window/merge statistics for perf diagnostics. Windows counts
+	// [start, start+W) windows advanced; Barriers counts the subset that
+	// delivered messages (the true synchronization points — with
+	// WidenWindows the rest are coalesced frontier jumps).
 	Windows  uint64
+	Barriers uint64
 	Messages uint64
 
-	merged []Message
-	// mergeBuckets is the per-cycle scatter space of collect, one bucket
-	// per window cycle, reused across windows.
-	mergeBuckets [][]Message
+	merged  []Message
+	cursors []int // per-shard outbox cursors of collect, reused
 
 	tel             *Telemetry
 	telShardFlushed []uint64 // per-shard Processed at the last shard sweep
@@ -306,9 +413,12 @@ func NewParallelEngine(p Partition, workers int) *ParallelEngine {
 	if w == 0 || w >= horizonCycles {
 		panic("sim: lookahead window must be in [1, horizon)")
 	}
-	e := &ParallelEngine{shards: make([]Shard, n), window: w, Workers: workers}
+	e := &ParallelEngine{shards: make([]Shard, n), window: w, Workers: workers,
+		WidenWindows: true}
 	for i := range e.shards {
 		e.shards[i].ID = i
+		e.shards[i].nextMin = noEvent
+		e.shards[i].q.init()
 	}
 	return e
 }
@@ -327,9 +437,9 @@ func (e *ParallelEngine) Window() uint64 { return e.window }
 func (e *ParallelEngine) SetHandler(i int, h ShardHandler) { e.shards[i].handler = h }
 
 // SetBarrier assigns the coordinator function invoked after every window
-// that produced messages, with the merged batch in (time, shard, seq)
-// order. The barrier runs single-threaded and may schedule events on any
-// shard via Shard.At, at cycles no earlier than the barrier time.
+// that produced messages, with the merged batch in (time, shard, send
+// order) order. The barrier runs single-threaded and may schedule events
+// on any shard via Shard.At, at cycles no earlier than the barrier time.
 func (e *ParallelEngine) SetBarrier(f func([]Message)) { e.barrier = f }
 
 // SetHook installs a clock observer, fired once per window with the
@@ -348,9 +458,24 @@ func (e *ParallelEngine) Pending() int {
 	return n
 }
 
-// minNext returns the earliest pending event time across shards.
+// minNext returns the earliest pending event time across shards, from
+// the cached per-shard minima (exact: At lowers a cache entry on every
+// push and runWindow recomputes it on every execution).
 func (e *ParallelEngine) minNext() (uint64, bool) {
-	best := ^uint64(0)
+	best := noEvent
+	for i := range e.shards {
+		if m := e.shards[i].nextMin; m < best {
+			best = m
+		}
+	}
+	return best, best != noEvent
+}
+
+// minNextScan recomputes the earliest pending event time by scanning
+// every shard queue — the pre-adaptive reference path, kept for the
+// WidenWindows=false driver and as the cross-check oracle in tests.
+func (e *ParallelEngine) minNextScan() (uint64, bool) {
+	best := noEvent
 	ok := false
 	for i := range e.shards {
 		if t, has := e.shards[i].q.min(); has && t < best {
@@ -370,6 +495,7 @@ func (e *ParallelEngine) Run() uint64 {
 	if workers > len(e.shards) {
 		workers = len(e.shards)
 	}
+	adaptive := e.WidenWindows
 	var starts []chan [2]uint64
 	var done chan struct{}
 	if workers > 1 {
@@ -380,7 +506,13 @@ func (e *ParallelEngine) Run() uint64 {
 			go func(w int) {
 				for win := range starts[w] {
 					for si := w; si < len(e.shards); si += workers {
-						e.shards[si].runWindow(win[0], win[1])
+						// Idle-shard skip: a shard with no events before
+						// the window end has nothing to run; its clock and
+						// ring floor catch up lazily on its next active
+						// window (runWindow tolerates a stale clock).
+						if !adaptive || e.shards[si].nextMin < win[1] {
+							e.shards[si].runWindow(win[0], win[1])
+						}
 					}
 					done <- struct{}{}
 				}
@@ -394,7 +526,13 @@ func (e *ParallelEngine) Run() uint64 {
 	}
 
 	for {
-		start, ok := e.minNext()
+		var start uint64
+		var ok bool
+		if adaptive {
+			start, ok = e.minNext()
+		} else {
+			start, ok = e.minNextScan()
+		}
 		if !ok {
 			if e.tel != nil {
 				e.publishShards()
@@ -416,7 +554,9 @@ func (e *ParallelEngine) Run() uint64 {
 			}
 		} else {
 			for i := range e.shards {
-				e.shards[i].runWindow(start, end)
+				if !adaptive || e.shards[i].nextMin < end {
+					e.shards[i].runWindow(start, end)
+				}
 			}
 		}
 		prev := e.now
@@ -425,6 +565,7 @@ func (e *ParallelEngine) Run() uint64 {
 			e.hook.Advance(prev, end)
 		}
 		if msgs := e.collect(start); len(msgs) > 0 {
+			e.Barriers++
 			e.Messages += uint64(len(msgs))
 			e.barrier(msgs)
 		}
@@ -469,29 +610,62 @@ func (e *ParallelEngine) AdvanceTo(t uint64) {
 }
 
 // collect gathers all shard outboxes into one batch in (time, shard,
-// seq) order — a total order, since seq is unique per shard — and clears
-// the outboxes. No comparison sort is needed: every message's time lies
-// in the just-finished window [start, start+W) (Send stamps the sending
-// event's cycle), each outbox is already (time, seq)-sorted because a
-// shard executes events in nondecreasing time order, and shards are
-// visited in index order — so scattering into one bucket per window
-// cycle and concatenating yields the exact merge order in O(messages).
+// send order) order — a total order, since each outbox is positionally
+// ordered — and clears the outboxes. No comparison sort and no per-
+// message scatter are needed: every message's time lies in the just-
+// finished window [start, start+W) (Send stamps the sending event's
+// cycle) and each outbox is already time-sorted, so one cursor per
+// shard walks the outboxes cycle by cycle, copying each shard's run of
+// same-cycle messages in a single batched append. Each message is
+// copied exactly once, at the window barrier, rather than per Send.
 func (e *ParallelEngine) collect(start uint64) []Message {
-	if e.mergeBuckets == nil {
-		e.mergeBuckets = make([][]Message, e.window)
-	}
+	total, active, lastIdx := 0, 0, -1
 	for i := range e.shards {
-		sh := &e.shards[i]
-		for _, msg := range sh.out {
-			b := msg.Time - start
-			e.mergeBuckets[b] = append(e.mergeBuckets[b], msg)
+		if n := len(e.shards[i].out); n > 0 {
+			total += n
+			active++
+			lastIdx = i
 		}
-		sh.out = sh.out[:0]
+	}
+	if total == 0 {
+		return nil
 	}
 	m := e.merged[:0]
-	for b := range e.mergeBuckets {
-		m = append(m, e.mergeBuckets[b]...)
-		e.mergeBuckets[b] = e.mergeBuckets[b][:0]
+	if active == 1 {
+		// One sender: its outbox is already the merge order.
+		sh := &e.shards[lastIdx]
+		m = append(m, sh.out...)
+		sh.out = sh.out[:0]
+		e.merged = m
+		return m
+	}
+	if len(e.cursors) < len(e.shards) {
+		e.cursors = make([]int, len(e.shards))
+	}
+	cur := e.cursors
+	for i := range cur {
+		cur[i] = 0
+	}
+	for t := start; len(m) < total && t-start < e.window; t++ {
+		for i := range e.shards {
+			out := e.shards[i].out
+			j := cur[i]
+			if j >= len(out) || out[j].Time != t {
+				continue
+			}
+			k := j + 1
+			for k < len(out) && out[k].Time == t {
+				k++
+			}
+			m = append(m, out[j:k]...)
+			cur[i] = k
+		}
+	}
+	if len(m) != total {
+		panic("sim: message stamped outside its sending window")
+	}
+	for i := range e.shards {
+		e.shards[i].out = e.shards[i].out[:0]
 	}
 	e.merged = m
 	return m

@@ -104,6 +104,34 @@ func TestParallelEngineWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestParallelEngineWidenWindowsDifferential pins the adaptive window
+// driver to the conservative reference driver: frontier jumps, idle-shard
+// skips and barrier elision may only change the window accounting, never
+// the executed events, the message stream or the final clock.
+func TestParallelEngineWidenWindowsDifferential(t *testing.T) {
+	ref := newRingModel(7, 6, 1)
+	ref.eng.WidenWindows = false
+	ref.run()
+	if len(ref.log) == 0 || ref.msgs == 0 {
+		t.Fatalf("degenerate reference run: %d events, %d messages", len(ref.log), ref.msgs)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		m := newRingModel(7, 6, workers)
+		m.run() // WidenWindows defaults to true
+		if !reflect.DeepEqual(m.log, ref.log) {
+			t.Fatalf("widened workers=%d: event log diverged from fixed-window driver", workers)
+		}
+		if m.msgs != ref.msgs || m.eng.Now() != ref.eng.Now() {
+			t.Fatalf("widened workers=%d: msgs=%d now=%d, want %d/%d",
+				workers, m.msgs, m.eng.Now(), ref.msgs, ref.eng.Now())
+		}
+		if m.eng.Windows > ref.eng.Windows {
+			t.Fatalf("widening advanced more windows (%d) than the fixed driver (%d)",
+				m.eng.Windows, ref.eng.Windows)
+		}
+	}
+}
+
 func TestShardSameCycleFIFO(t *testing.T) {
 	e := NewParallelEngine(staticPartition{1, 4}, 1)
 	var got []uint64

@@ -160,18 +160,21 @@ func (m *Machine) Workers() int {
 }
 
 // SimStats reports engine-level execution statistics: events executed
-// and, on the sharded engine, windows advanced and boundary messages
-// merged. Purely diagnostic — used by the simulator benchmark record.
+// and, on the sharded engine, windows advanced, barrier synchronizations
+// that delivered messages, and boundary messages merged. Purely
+// diagnostic — used by the simulator benchmark record.
 type SimStats struct {
 	Events   uint64
 	Windows  uint64
+	Barriers uint64
 	Messages uint64
 }
 
 // SimStats returns the machine's engine statistics so far.
 func (m *Machine) SimStats() SimStats {
 	if m.par != nil {
-		s := SimStats{Windows: m.par.eng.Windows, Messages: m.par.eng.Messages}
+		s := SimStats{Windows: m.par.eng.Windows, Barriers: m.par.eng.Barriers,
+			Messages: m.par.eng.Messages}
 		for i := 0; i < m.par.eng.Shards(); i++ {
 			s.Events += m.par.eng.Shard(i).Processed
 		}

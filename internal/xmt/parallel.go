@@ -1,28 +1,42 @@
 package xmt
 
 // Sharded execution of the XMT machine on sim.ParallelEngine: one shard
-// per cluster, with each shard also owning the memory modules of zero or
-// more whole DRAM channels. Everything a shard touches during a window
-// is shard-local — its cluster's ports and TCU states, its modules'
-// caches and channels, its counters and trace recorder. Interactions
-// that cross clusters are exactly the interactions that cross the real
-// machine's NoC or prefix-sum unit, and they become boundary messages:
+// per cluster. Everything a shard touches during a window is
+// cluster-local — its ports and TCU states, its counters and trace
+// recorder. Everything behind the NoC — the network's switch state and
+// the memory system's caches and DRAM channels — is coordinator state,
+// touched only between windows, in deterministic barrier merge order.
 //
-//	msgMemReq     load/store leaving a cluster LSU for a memory module
-//	msgLoadDone   load value arriving back at the requesting TCU
+// Interactions that cross the real machine's NoC or prefix-sum unit
+// become boundary messages, one per *group*, not one per request:
+//
+//	msgMemGroup   a whole load group or store group leaving a cluster
+//	              LSU; the per-request payload (address, issue cycle)
+//	              rides in the sending shard's request buffer, so the
+//	              message itself is just (offset, count)
+//	msgMemRetry   re-issue of one request whose NoC retransmit protocol
+//	              gave up (fault injection only)
 //	msgThreadDone TCU asking the prefix-sum unit for its next thread id
-//	msgPrefetch   next-line prefetch crossing to the line's home module
 //
-// The coordinator (the engine's barrier function) converts each message
-// into a future event on the destination shard. The lookahead window is
-// min(NoC one-way latency, PSLatency), so every cross-shard effect lands
-// at or after the barrier that delivers it — the conservative-PDES
-// safety condition. Because the window sequence, per-shard event order
-// and barrier merge order are all deterministic, a run's cycle counts,
-// counters and trace streams are bit-identical for every worker count,
-// which the differential tests assert. See DESIGN.md §7 for why this
-// model is a (deliberately) different canonical semantics than the
-// legacy serial engine's global-FIFO tie-breaking.
+// The coordinator (the engine's barrier function) consumes each group
+// inline: it walks the requests in issue order, traverses the NoC,
+// performs the memory access and computes the reply arrival — exactly
+// the legacy engine's memory path — then schedules a single resume
+// event on the requesting shard. This is what makes the sharded
+// engine's per-event cost comparable to the legacy engine's: an earlier
+// design bounced every request through module-owner shards and every
+// reply through its own message, which tripled wall-clock purely on
+// message transport (1.86M messages for a run with 0.9M accesses). The
+// trade, documented in DESIGN.md §7: memory-system model work is
+// serialized at the coordinator, so workers parallelize only
+// cluster-side work (thread generation, FLOP/ALU segments).
+//
+// The lookahead window is min(NoC one-way latency, PSLatency), so every
+// cross-shard effect lands at or after the barrier that delivers it —
+// the conservative-PDES safety condition. Because the window sequence,
+// per-shard event order and barrier merge order are all deterministic,
+// a run's cycle counts, counters and trace streams are bit-identical
+// for every worker count, which the differential tests assert.
 //
 // Programs executed in sharded mode must be safe for concurrent
 // Program.Thread calls (see Program); the FFT kernels are, by the PRAM
@@ -41,16 +55,17 @@ import (
 
 // Boundary message kinds (sim.Message.Kind).
 const (
-	// msgMemReq: A=LSU issue cycle, B=address,
-	// C = src cluster | dst module<<16 | write<<32, D = TCU id.
-	msgMemReq uint8 = iota
-	// msgLoadDone: A=arrival cycle back at the cluster, D = TCU id.
-	msgLoadDone
-	// msgThreadDone: A=completion cycle, D = TCU id. (Completion may be
+	// msgMemGroup: A = offset into the sending shard's request buffer,
+	// B = request count, C = segment start cycle<<1 | write bit,
+	// D = TCU id. A load group parks its thread until the coordinator
+	// schedules the resume; a store group does not.
+	msgMemGroup uint8 = iota
+	// msgMemRetry: A = offset of the single re-issued request in the
+	// sending shard's request buffer, B = write bit, D = TCU id.
+	msgMemRetry
+	// msgThreadDone: A = completion cycle, D = TCU id. (Completion may be
 	// later than Message.Time when trailing ALU ops ran inline.)
 	msgThreadDone
-	// msgPrefetch: Time=demand-miss cycle, A=address, B=dst module.
-	msgPrefetch
 )
 
 // Shard event opcodes.
@@ -59,40 +74,51 @@ const (
 	sopStart uint8 = iota
 	// sopResume: a = local TCU index, b = op index to resume at.
 	sopResume
-	// sopMemAccess: a = address, b = module | TCU<<16 | write<<62.
-	sopMemAccess
-	// sopPrefetch: a = address, b = module.
-	sopPrefetch
 	// sopRetransmit: a = index into shardedMachine.retries. Fires on the
 	// source shard after the retransmit protocol gave up on a request;
-	// re-emits the recorded msgMemReq with the event's cycle as the new
-	// issue time, keeping the event loop turning (so a pathological loss
-	// rate becomes a watchdog-detectable livelock, not a spin).
+	// re-emits the request with the event's cycle as the new issue time,
+	// keeping the event loop turning (so a pathological loss rate becomes
+	// a watchdog-detectable livelock, not a spin).
 	sopRetransmit
 )
 
+// memReq is one memory request in a shard's request buffer: the payload
+// a msgMemGroup/msgMemRetry message refers to by offset. Requests are
+// appended by shard events during a window and consumed by the
+// coordinator at the barrier ending that same window, which then resets
+// every buffer — the engine's window/barrier alternation is the only
+// synchronization needed (the same contract retries uses, reversed).
+type memReq struct {
+	addr  uint64
+	issue uint64
+}
+
 // shardTCU is one TCU's execution state on its owning shard.
 type shardTCU struct {
-	id  int // global TCU id
-	tid int
-	buf []Op
-	// Load-group wait state: the thread parks after sending its load
-	// requests and resumes at op index i when all waiting replies are in.
+	id    int // global TCU id
+	local int // index within the owning shard (id % TCUsPerCluster)
+	tid   int
+	buf   []Op
+	// Load-group wait state: the thread parks after emitting its load
+	// group and resumes at op index i when the coordinator has served
+	// every request. waiting counts requests stuck in the retransmit
+	// retry path (always zero without NoC fault injection).
 	i        int
 	segStart uint64
 	waiting  int
 	maxRet   uint64
 }
 
-// machineShard is one cluster plus its owned memory channels; it
-// implements sim.ShardHandler. Fields are touched only by the shard's
-// own events during windows and by the coordinator between windows.
+// machineShard is one cluster; it implements sim.ShardHandler. Fields
+// are touched only by the shard's own events during windows and by the
+// coordinator between windows.
 type machineShard struct {
 	sm *shardedMachine
 	id int // cluster index == shard index
 
 	fpu, lsu, mdu sim.Port
 	tcus          []shardTCU
+	reqs          []memReq // request payloads for this window's groups
 
 	counters stats.Counters
 	lastDone uint64          // thread and store completions on this shard
@@ -101,17 +127,22 @@ type machineShard struct {
 
 // shardedMachine drives a Machine on the windowed parallel engine.
 type shardedMachine struct {
-	m           *Machine
-	eng         *sim.ParallelEngine
-	shards      []*machineShard
-	moduleOwner []int32
-	window      uint64
-	replyLat    uint64 // uncontended reply latency (replies never contend)
-	now         uint64
-	psOps       uint64 // cumulative thread re-allocation prefix-sums
+	m      *Machine
+	eng    *sim.ParallelEngine
+	shards []*machineShard
+	// tcuShard/tcuLocal map a global TCU id to its owning shard and
+	// local index without the div/mod pair tcuOf used to pay on every
+	// barrier message (the divisor is not a compile-time constant, so
+	// the hardware division showed up in the merge-path profile).
+	tcuShard []int32
+	tcuLocal []int32
+	window   uint64
+	now      uint64
+	psOps    uint64 // cumulative thread re-allocation prefix-sums
 
-	// coordRec collects coordinator-side trace events (NoC traversals)
-	// during a spawn; merged with the shard recorders at the join.
+	// coordRec collects coordinator-side trace events (NoC traversals
+	// and memory accesses) during a spawn; merged with the shard
+	// recorders at the join.
 	coordRec *trace.Recorder
 
 	// retries holds escalated (give-up) memory requests awaiting their
@@ -121,10 +152,12 @@ type shardedMachine struct {
 	retries []retryRec
 }
 
-// retryRec is one escalated memory request: the original msgMemReq
-// payload minus the issue cycle, which the retry event supplies.
+// retryRec is one escalated memory request: the payload its
+// sopRetransmit event re-issues with a fresh issue cycle.
 type retryRec struct {
-	addr, packedC, tcuD uint64
+	addr  uint64
+	tcu   uint64
+	write bool
 }
 
 // Shards implements sim.Partition: one shard per cluster.
@@ -149,8 +182,8 @@ func NewParallel(cfg config.Config, workers int) (*Machine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sm := &shardedMachine{m: m, replyLat: m.network.Latency()}
-	sm.window = sm.replyLat
+	sm := &shardedMachine{m: m}
+	sm.window = m.network.Latency()
 	if sm.window > PSLatency {
 		sm.window = PSLatency
 	}
@@ -171,15 +204,16 @@ func NewParallel(cfg config.Config, workers int) (*Machine, error) {
 		}
 		for j := range sh.tcus {
 			sh.tcus[j].id = i*cfg.TCUsPerCluster + j
+			sh.tcus[j].local = j
 		}
 		sm.shards[i] = sh
 		sm.eng.SetHandler(i, sh)
 	}
-	// Modules sharing a DRAM channel share mutable channel state (port,
-	// open row), so whole channels are assigned to shards.
-	sm.moduleOwner = make([]int32, cfg.MemModules)
-	for mi := range sm.moduleOwner {
-		sm.moduleOwner[mi] = int32(m.memory.ChannelOf(mi) % cfg.Clusters)
+	sm.tcuShard = make([]int32, cfg.TCUs)
+	sm.tcuLocal = make([]int32, cfg.TCUs)
+	for t := 0; t < cfg.TCUs; t++ {
+		sm.tcuShard[t] = int32(t / cfg.TCUsPerCluster)
+		sm.tcuLocal[t] = int32(t % cfg.TCUsPerCluster)
 	}
 	m.par = sm
 	return m, nil
@@ -193,8 +227,7 @@ func (sm *shardedMachine) advance(cycles uint64) {
 
 // tcuOf returns the shard and local index of a global TCU id.
 func (sm *shardedMachine) tcuOf(tcu int) (*machineShard, int) {
-	per := sm.m.cfg.TCUsPerCluster
-	return sm.shards[tcu/per], tcu % per
+	return sm.shards[sm.tcuShard[tcu]], int(sm.tcuLocal[tcu])
 }
 
 // spawn runs one parallel section to completion on the sharded engine.
@@ -292,6 +325,8 @@ func (sm *shardedMachine) spawn(n int, prog Program) (SpawnResult, error) {
 // reduceCounters rebuilds the machine's shard-summed counters. The
 // shard counters are cumulative over the machine's lifetime, so this is
 // a pure deterministic reduction, valid whenever the shards are parked.
+// (Cache hits and misses live in the requesting cluster's shard
+// counters; the coordinator credits them while serving groups.)
 func (sm *shardedMachine) reduceCounters() {
 	c := &sm.m.Counters
 	c.FPOps, c.ALUOps, c.Loads, c.Stores, c.Threads = 0, 0, 0, 0, 0
@@ -310,67 +345,25 @@ func (sm *shardedMachine) reduceCounters() {
 }
 
 // onBarrier is the coordinator: it receives every window's messages in
-// deterministic (time, shard, seq) order and turns them into future
-// events. It is the only place the shared network object is touched, so
-// the NoC's internal state (hybrid switch ports, packet counter) needs
-// no locking.
+// deterministic (time, shard, send order) order and serves them inline.
+// It is the only place the shared network and memory objects are
+// touched, so their internal state (hybrid switch ports, cache sets,
+// DRAM channel timing, packet counters) needs no locking.
 func (sm *shardedMachine) onBarrier(msgs []sim.Message) {
 	m := sm.m
 	for _, msg := range msgs {
 		switch msg.Kind {
-		case msgMemReq:
-			issue := msg.A
-			addr := msg.B
-			src := int(msg.C & 0xFFFF)
-			dst := int(msg.C >> 16 & 0xFFFF)
-			write := msg.C>>32&1 == 1
-			var arrive uint64
-			if m.rnet != nil {
-				var ok bool
-				arrive, ok = m.rnet.TraverseReliable(issue, src, dst)
-				if !ok {
-					// The retransmit protocol gave up on this request.
-					// Record it and schedule an event-level retry on the
-					// source shard, which re-emits the msgMemReq.
-					at := arrive
-					if at < sm.eng.Now() {
-						at = sm.eng.Now()
-					}
-					sm.eng.Shard(src).At(at, sopRetransmit, uint64(len(sm.retries)), 0)
-					sm.retries = append(sm.retries, retryRec{addr: addr, packedC: msg.C, tcuD: msg.D})
-					continue
-				}
+		case msgMemGroup:
+			sh := sm.shards[msg.Src]
+			recs := sh.reqs[msg.A : msg.A+msg.B]
+			if msg.C&1 == 1 {
+				sm.storeGroup(sh, recs, int(msg.D))
 			} else {
-				arrive = m.network.Traverse(issue, src, dst)
+				sm.loadGroup(sh, recs, msg.C>>1, int(msg.D))
 			}
-			if sm.coordRec != nil {
-				sm.coordRec.NoC(issue, arrive, src, dst)
-			}
-			var wbit uint64
-			if write {
-				wbit = 1
-			}
-			sm.eng.Shard(int(sm.moduleOwner[dst])).At(
-				arrive, sopMemAccess, addr, uint64(dst)|msg.D<<16|wbit<<62)
-		case msgLoadDone:
-			// The reply is a packet like any other; credit it here so the
-			// network stays the single source of truth for NoCPackets.
-			m.network.AddReplies(1)
-			sh, local := sm.tcuOf(int(msg.D))
-			tc := &sh.tcus[local]
-			if msg.A > tc.maxRet {
-				tc.maxRet = msg.A
-			}
-			tc.waiting--
-			if tc.waiting == 0 {
-				if sh.rec != nil {
-					sh.rec.Segment(tc.segStart, tc.maxRet, tc.id, trace.SegLoad)
-				}
-				if m.wd != nil {
-					m.wd.Progress(tc.maxRet)
-				}
-				sm.eng.Shard(sh.id).At(tc.maxRet, sopResume, uint64(local), uint64(tc.i))
-			}
+		case msgMemRetry:
+			sh := sm.shards[msg.Src]
+			sm.memRetry(sh, sh.reqs[msg.A], msg.B == 1, int(msg.D))
 		case msgThreadDone:
 			// The prefix-sum unit combines concurrent requests, so every
 			// retiring TCU gets the next id in deterministic merge order
@@ -387,13 +380,125 @@ func (sm *shardedMachine) onBarrier(msgs []sim.Message) {
 			} else {
 				m.outstanding--
 			}
-		case msgPrefetch:
-			dst := int(msg.B)
-			sm.eng.Shard(int(sm.moduleOwner[dst])).At(
-				msg.Time+sm.replyLat, sopPrefetch, msg.A, msg.B)
 		default:
 			panic(fmt.Sprintf("xmt: unknown boundary message kind %d", msg.Kind))
 		}
+	}
+	// Every request appended during the finished window has now been
+	// consumed (a request is always paired with a message in the same
+	// event, and the barrier receives all of a window's messages), so
+	// the buffers reset for the next window.
+	for _, sh := range sm.shards {
+		sh.reqs = sh.reqs[:0]
+	}
+}
+
+// serveRequest performs the coordinator side of one memory request —
+// NoC traversal, module access, counters, tracing — mirroring the
+// legacy engine's per-request path. ok=false means the retransmit
+// protocol gave up; the request has been queued for an event-level
+// retry on the source shard and res is meaningless.
+func (sm *shardedMachine) serveRequest(sh *machineShard, r memReq, write bool, tcu int) (mem.AccessResult, bool) {
+	m := sm.m
+	dst := mem.HashAddress(r.addr, m.cfg.MemModules)
+	arrive, ok := m.traverse(r.issue, sh.id, dst)
+	if !ok {
+		// Give-up: schedule the event-level retry on the source shard,
+		// which re-issues the request with a fresh issue cycle.
+		at := arrive
+		if now := sm.eng.Now(); at < now {
+			at = now
+		}
+		sm.eng.Shard(sh.id).At(at, sopRetransmit, uint64(len(sm.retries)), 0)
+		sm.retries = append(sm.retries, retryRec{addr: r.addr, tcu: uint64(tcu), write: write})
+		return mem.AccessResult{}, false
+	}
+	res := m.memory.Access(arrive, r.addr, write)
+	if res.Hit {
+		sh.counters.CacheHits++
+	} else {
+		sh.counters.CacheMisses++
+	}
+	if sm.coordRec != nil {
+		sm.coordRec.NoC(r.issue, arrive, sh.id, dst)
+		sm.coordRec.MemAccess(arrive, res.Done, tcu, dst, r.addr, write, res.Hit)
+	}
+	recordMemFault(sm.coordRec, res.Done, res.Fault, dst, r.addr)
+	return res, true
+}
+
+// loadGroup serves a parked thread's load group: every request is
+// traversed and accessed in issue order, and the thread resumes when
+// the last reply is in (immediately computable unless a request
+// escalated into the retry path).
+func (sm *shardedMachine) loadGroup(sh *machineShard, recs []memReq, segStart uint64, tcu int) {
+	m := sm.m
+	tc := &sh.tcus[sm.tcuLocal[tcu]]
+	tc.segStart = segStart
+	done := uint64(0)
+	pending := 0
+	for _, r := range recs {
+		res, ok := sm.serveRequest(sh, r, false, tcu)
+		if !ok {
+			pending++
+			continue
+		}
+		if ret := m.network.Reply(res.Done); ret > done {
+			done = ret
+		}
+	}
+	tc.maxRet = done
+	tc.waiting = pending
+	if pending == 0 {
+		sm.finishLoadGroup(sh, tc)
+	}
+}
+
+// finishLoadGroup records the load segment and schedules the parked
+// thread's resume at the last reply arrival.
+func (sm *shardedMachine) finishLoadGroup(sh *machineShard, tc *shardTCU) {
+	if sh.rec != nil {
+		sh.rec.Segment(tc.segStart, tc.maxRet, tc.id, trace.SegLoad)
+	}
+	if sm.m.wd != nil {
+		sm.m.wd.Progress(tc.maxRet)
+	}
+	sm.eng.Shard(sh.id).At(tc.maxRet, sopResume, uint64(tc.local), uint64(tc.i))
+}
+
+// storeGroup serves a store group; the issuing thread already continued
+// (stores do not block), so only the join's completion bound advances.
+func (sm *shardedMachine) storeGroup(sh *machineShard, recs []memReq, tcu int) {
+	for _, r := range recs {
+		res, ok := sm.serveRequest(sh, r, true, tcu)
+		if !ok {
+			continue
+		}
+		if res.Done > sh.lastDone {
+			sh.lastDone = res.Done // join waits for store completion
+		}
+	}
+}
+
+// memRetry serves a single re-issued request from the retransmit path.
+func (sm *shardedMachine) memRetry(sh *machineShard, r memReq, write bool, tcu int) {
+	res, ok := sm.serveRequest(sh, r, write, tcu)
+	if !ok {
+		return // escalated again; a fresh retry event is scheduled
+	}
+	if write {
+		if res.Done > sh.lastDone {
+			sh.lastDone = res.Done
+		}
+		return
+	}
+	tc := &sh.tcus[sm.tcuLocal[tcu]]
+	if ret := sm.m.network.Reply(res.Done); ret > tc.maxRet {
+		tc.maxRet = ret
+	}
+	tc.waiting--
+	if tc.waiting == 0 {
+		sm.finishLoadGroup(sh, tc)
 	}
 }
 
@@ -404,13 +509,15 @@ func (sh *machineShard) Event(s *sim.Shard, t uint64, op uint8, a, b uint64) {
 		sh.runThread(s, &sh.tcus[a], int(b), t)
 	case sopResume:
 		sh.exec(s, &sh.tcus[a], int(b), t)
-	case sopMemAccess:
-		sh.memAccess(s, t, a, b)
-	case sopPrefetch:
-		sh.sm.m.memory.PrefetchInto(int(b), t, a)
 	case sopRetransmit:
 		r := sh.sm.retries[a]
-		s.Send(msgMemReq, t, r.addr, r.packedC, r.tcuD)
+		off := len(sh.reqs)
+		sh.reqs = append(sh.reqs, memReq{addr: r.addr, issue: t})
+		var wbit uint64
+		if r.write {
+			wbit = 1
+		}
+		s.Send(msgMemRetry, uint64(off), wbit, 0, r.tcu)
 	default:
 		panic(fmt.Sprintf("xmt: unknown shard event op %d", op))
 	}
@@ -431,10 +538,10 @@ func (sh *machineShard) runThread(s *sim.Shard, tc *shardTCU, tid int, now uint6
 
 // exec is the sharded counterpart of Machine.execSegments: it executes
 // the op stream from index i with the thread ready at cycle now,
-// emitting boundary messages wherever the legacy path called into the
-// network or memory system directly.
+// emitting one boundary message per load/store group where the legacy
+// path called into the network and memory system directly.
 func (sh *machineShard) exec(s *sim.Shard, tc *shardTCU, i int, now uint64) {
-	cfg := &sh.sm.m.cfg
+	local := uint64(tc.local)
 	for {
 		if i >= len(tc.buf) {
 			sh.threadDone(s, tc, now)
@@ -453,7 +560,7 @@ func (sh *machineShard) exec(s *sim.Shard, tc *shardTCU, i int, now uint64) {
 				sh.rec.Segment(now, done, tc.id, trace.SegFLOP)
 			}
 			i++
-			s.At(done, sopResume, uint64(tc.id%cfg.TCUsPerCluster), uint64(i))
+			s.At(done, sopResume, local, uint64(i))
 			return
 		case OpPS:
 			sh.counters.PSOps++
@@ -461,43 +568,38 @@ func (sh *machineShard) exec(s *sim.Shard, tc *shardTCU, i int, now uint64) {
 				sh.rec.Segment(now, now+PSLatency, tc.id, trace.SegPS)
 			}
 			i++
-			s.At(now+PSLatency, sopResume, uint64(tc.id%cfg.TCUsPerCluster), uint64(i))
+			s.At(now+PSLatency, sopResume, local, uint64(i))
 			return
 		case OpLoad:
-			// Emit the load group as boundary messages and park the
-			// thread; the coordinator resumes it when the last reply is
-			// in. The LSU issue grant is cluster-local state, charged now.
+			// Emit the load group as one boundary message (payload in the
+			// shard's request buffer) and park the thread; the coordinator
+			// serves the group at the barrier and schedules the resume.
+			// The LSU issue grants are cluster-local state, charged now.
 			j := i
-			cnt := 0
+			off := len(sh.reqs)
 			for j < len(tc.buf) && tc.buf[j].Kind == OpLoad {
-				addr := tc.buf[j].Addr
-				issue := sh.lsu.Grant(now)
-				dst := mem.HashAddress(addr, cfg.MemModules)
+				sh.reqs = append(sh.reqs,
+					memReq{addr: tc.buf[j].Addr, issue: sh.lsu.Grant(now)})
 				sh.counters.Loads++
-				s.Send(msgMemReq, issue, addr,
-					uint64(sh.id)|uint64(dst)<<16, uint64(tc.id))
-				cnt++
 				j++
 			}
 			tc.i = j
-			tc.segStart = now
-			tc.waiting = cnt
-			tc.maxRet = 0
+			s.Send(msgMemGroup, uint64(off), uint64(len(sh.reqs)-off), now<<1, uint64(tc.id))
 			return
 		case OpStore:
 			// Issue the store group without blocking the thread.
 			j := i
 			start := now
 			issue := now
+			off := len(sh.reqs)
 			for j < len(tc.buf) && tc.buf[j].Kind == OpStore {
-				addr := tc.buf[j].Addr
 				issue = sh.lsu.Grant(issue)
-				dst := mem.HashAddress(addr, cfg.MemModules)
+				sh.reqs = append(sh.reqs,
+					memReq{addr: tc.buf[j].Addr, issue: issue})
 				sh.counters.Stores++
-				s.Send(msgMemReq, issue, addr,
-					uint64(sh.id)|uint64(dst)<<16|1<<32, uint64(tc.id))
 				j++
 			}
+			s.Send(msgMemGroup, uint64(off), uint64(len(sh.reqs)-off), 1, uint64(tc.id))
 			now = issue + 1
 			if sh.rec != nil {
 				sh.rec.Segment(start, now, tc.id, trace.SegStore)
@@ -506,38 +608,6 @@ func (sh *machineShard) exec(s *sim.Shard, tc *shardTCU, i int, now uint64) {
 		default:
 			panic(fmt.Sprintf("xmt: unknown op kind %d", op.Kind))
 		}
-	}
-}
-
-// memAccess serves one request at a module this shard owns; t is the
-// packet's arrival cycle at the module.
-func (sh *machineShard) memAccess(s *sim.Shard, t uint64, addr, packed uint64) {
-	module := int(packed & 0xFFFF)
-	tcu := int(packed >> 16 & 0x3FFFFFFF)
-	write := packed>>62&1 == 1
-	sys := sh.sm.m.memory
-	res := sys.AccessModule(module, t, addr, write)
-	if res.Hit {
-		sh.counters.CacheHits++
-	} else {
-		sh.counters.CacheMisses++
-	}
-	if sh.rec != nil {
-		sh.rec.MemAccess(t, res.Done, tcu, module, addr, write, res.Hit)
-	}
-	recordMemFault(sh.rec, res.Done, res.Fault, module, addr)
-	if write {
-		if res.Done > sh.lastDone {
-			sh.lastDone = res.Done // join waits for store completion
-		}
-	} else {
-		// Reply trees are contention-free (§II-B): arrival is pure
-		// latency, computable shard-locally; the coordinator delivers it.
-		s.Send(msgLoadDone, res.Done+sh.sm.replyLat, 0, 0, uint64(tcu))
-	}
-	if sys.Prefetch && !res.Hit {
-		next := addr + config.CacheLineBytes
-		s.Send(msgPrefetch, next, uint64(mem.HashAddress(next, sh.sm.m.cfg.MemModules)), 0, 0)
 	}
 }
 
