@@ -25,15 +25,24 @@ type BatchPlan[C Complex] struct {
 // NewBatchPlan validates the layout against the buffer contract; the
 // caller passes buffers of length >= (HowMany-1)*Dist + (n-1)*Stride + 1.
 func NewBatchPlan[C Complex](n, howMany, stride, dist int, opts ...PlanOption) (*BatchPlan[C], error) {
-	if howMany <= 0 || stride <= 0 || dist <= 0 {
-		return nil, fmt.Errorf("fft: batch geometry (howMany=%d, stride=%d, dist=%d) must be positive", howMany, stride, dist)
-	}
 	p, err := NewPlan[C](n, opts...)
 	if err != nil {
 		return nil, err
 	}
+	return NewBatchPlanOf(p, howMany, stride, dist)
+}
+
+// NewBatchPlanOf wraps an existing 1D plan in a batch layout without
+// re-deriving twiddle tables — the shape services use when the same
+// cached plan backs batches of varying HowMany. The batch plan uses p
+// directly (including its scratch), so p and the returned batch plan
+// must not Transform concurrently; Clone either for a private copy.
+func NewBatchPlanOf[C Complex](p *Plan[C], howMany, stride, dist int) (*BatchPlan[C], error) {
+	if howMany <= 0 || stride <= 0 || dist <= 0 {
+		return nil, fmt.Errorf("fft: batch geometry (howMany=%d, stride=%d, dist=%d) must be positive", howMany, stride, dist)
+	}
 	return &BatchPlan[C]{plan: p, HowMany: howMany, Stride: stride, Dist: dist,
-		gather: make([]C, n)}, nil
+		gather: make([]C, p.N())}, nil
 }
 
 // Clone returns a batch plan sharing this plan's immutable twiddle

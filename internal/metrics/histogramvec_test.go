@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHistogramVecChildrenAndEncodeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("req_latency_seconds", "per-route latency", []float64{0.01, 0.1, 1}, "route")
+	a := v.With("1d")
+	b := v.With("2d")
+	if v.With("1d") != a {
+		t.Fatal("With is not cached per label set")
+	}
+	a.Observe(0.005)
+	a.Observe(0.5)
+	a.Observe(2)
+	b.Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("labeled-histogram exposition does not parse: %v", err)
+	}
+	cases := []struct {
+		labels map[string]string
+		want   float64
+	}{
+		{map[string]string{"route": "1d", "le": "0.01"}, 1},
+		{map[string]string{"route": "1d", "le": "1"}, 2},
+		{map[string]string{"route": "1d", "le": "+Inf"}, 3},
+		{map[string]string{"route": "2d", "le": "0.1"}, 1},
+	}
+	for _, tc := range cases {
+		got, ok := exp.Value("req_latency_seconds_bucket", tc.labels)
+		if !ok || got != tc.want {
+			t.Errorf("bucket %v = %g (found %v), want %g", tc.labels, got, ok, tc.want)
+		}
+	}
+	if got, ok := exp.Value("req_latency_seconds_count", map[string]string{"route": "1d"}); !ok || got != 3 {
+		t.Errorf("count = %g (found %v), want 3", got, ok)
+	}
+	if got, ok := exp.Value("req_latency_seconds_sum", map[string]string{"route": "1d"}); !ok || got != 2.505 {
+		t.Errorf("sum = %g (found %v), want 2.505", got, ok)
+	}
+}
+
+func TestHistogramVecValidatesBounds(t *testing.T) {
+	reg := NewRegistry()
+	for name, bounds := range map[string][]float64{
+		"none":       {},
+		"descending": {2, 1},
+		"nan":        {1, 2, mathNaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds accepted", name)
+				}
+			}()
+			reg.HistogramVec("bad_"+name, "x", bounds, "l")
+		}()
+	}
+}
+
+func mathNaN() float64 {
+	z := 0.0
+	return z / z
+}

@@ -282,6 +282,14 @@ type GaugeVec struct{ fam *family }
 // first use. Cache the handle on hot paths.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.fam.with(values).gauge }
 
+// HistogramVec is a histogram family with labels; every child shares
+// the family's bucket bounds.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use. Cache the handle on hot paths.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.with(values).hist }
+
 // Registry holds metric families and renders them as OpenMetrics text.
 // The zero value is not usable; call NewRegistry.
 type Registry struct {
@@ -351,6 +359,22 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // Histogram registers an unlabeled histogram with the given strictly
 // increasing finite bucket upper bounds (+Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, []string{"le"})
+	f.bounds = checkBounds(bounds)
+	return f.with(nil).hist
+}
+
+// HistogramVec registers a histogram family with the given bucket
+// bounds and label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	f := r.register(name, help, TypeHistogram, labels, []string{"le"})
+	f.bounds = checkBounds(bounds)
+	return &HistogramVec{fam: f}
+}
+
+// checkBounds validates histogram bucket bounds and returns a private
+// copy.
+func checkBounds(bounds []float64) []float64 {
 	if len(bounds) == 0 {
 		panic("metrics: histogram needs at least one bucket bound")
 	}
@@ -362,9 +386,7 @@ func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
 			panic("metrics: histogram bounds must be strictly increasing")
 		}
 	}
-	f := r.register(name, help, TypeHistogram, nil, []string{"le"})
-	f.bounds = append([]float64(nil), bounds...)
-	return f.with(nil).hist
+	return append([]float64(nil), bounds...)
 }
 
 // Summary registers an unlabeled summary publishing the given quantile

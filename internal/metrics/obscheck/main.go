@@ -1,24 +1,30 @@
 // Command obscheck validates OpenMetrics exposition files with the
 // repo's strict parser and requires the observability acceptance
-// series: per-shard event counts and rates, utilization, faults and
-// the watchdog heartbeat. CI feeds it the mid-run scrape and the final
-// snapshot of an xmtbench -serve-obs run.
+// series. The default mode checks a simulator run: per-shard event
+// counts and rates, utilization, faults and the watchdog heartbeat —
+// CI feeds it the mid-run scrape and the final snapshot of an
+// xmtbench -serve-obs run. With -serve it instead checks a transform
+// service scrape: request/latency series, admission-control gauges and
+// the coalescing counters exported by cmd/xmtserve.
 //
-// Usage: go run ./internal/metrics/obscheck file.prom [file.prom ...]
+// Usage: go run ./internal/metrics/obscheck [-serve] file.prom [file.prom ...]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"xmtfft/internal/metrics"
 )
 
-// required are the series every live exposition must carry.
-var required = []struct {
+type series struct {
 	name   string
 	labels map[string]string
-}{
+}
+
+// requiredSim are the series every live simulator exposition must carry.
+var requiredSim = []series{
 	{"xmtfft_sim_events_total", nil},
 	{"xmtfft_sim_events_per_second", nil},
 	{"xmtfft_sim_cycle", nil},
@@ -33,7 +39,22 @@ var required = []struct {
 	{"xmtfft_ops_total", map[string]string{"kind": "fp"}},
 }
 
-func check(path string) error {
+// requiredServe are the series every xmtserve scrape that has taken
+// traffic must carry.
+var requiredServe = []series{
+	{"xmtserve_requests_total", map[string]string{"route": "1d", "code": "200"}},
+	{"xmtserve_request_latency_seconds_count", map[string]string{"route": "1d"}},
+	{"xmtserve_queue_depth", nil},
+	{"xmtserve_queue_limit", nil},
+	{"xmtserve_requests_rejected_total", nil},
+	{"xmtserve_plan_passes_total", nil},
+	{"xmtserve_requests_coalesced_total", nil},
+	{"xmtserve_batch_size_count", nil},
+	{"xmtserve_pools", nil},
+	{"xmtserve_draining", nil},
+}
+
+func check(path string, serveMode bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -43,25 +64,31 @@ func check(path string) error {
 	if err != nil {
 		return fmt.Errorf("%s: invalid exposition: %w", path, err)
 	}
+	required, activity := requiredSim, "xmtfft_sim_events_total"
+	if serveMode {
+		required, activity = requiredServe, "xmtserve_plan_passes_total"
+	}
 	for _, r := range required {
 		if _, ok := exp.Value(r.name, r.labels); !ok {
 			return fmt.Errorf("%s: required series %s %v missing", path, r.name, r.labels)
 		}
 	}
-	if v, _ := exp.Value("xmtfft_sim_events_total", nil); v <= 0 {
-		return fmt.Errorf("%s: xmtfft_sim_events_total = %g, want > 0", path, v)
+	if v, _ := exp.Value(activity, nil); v <= 0 {
+		return fmt.Errorf("%s: %s = %g, want > 0", path, activity, v)
 	}
 	fmt.Printf("%s: ok (%d families)\n", path, len(exp.Families))
 	return nil
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck file.prom [file.prom ...]")
+	serveMode := flag.Bool("serve", false, "require the xmtserve series instead of the simulator series")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-serve] file.prom [file.prom ...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := check(path, *serveMode); err != nil {
 			fmt.Fprintln(os.Stderr, "obscheck:", err)
 			os.Exit(1)
 		}

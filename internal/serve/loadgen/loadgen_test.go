@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xmtfft/internal/serve"
+)
+
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	srv := serve.New(serve.Config{CoalesceWait: 100 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    40,
+		N:           64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d/%d requests failed", res.Errors, res.Requests)
+	}
+	if res.PlanPasses < 1 || res.PlanPasses > res.Requests {
+		t.Fatalf("plan passes %d outside [1, %d]", res.PlanPasses, res.Requests)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms || res.MaxMs < res.P99Ms {
+		t.Fatalf("latency quantiles inconsistent: p50=%g p99=%g max=%g", res.P50Ms, res.P99Ms, res.MaxMs)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %g", res.Throughput)
+	}
+	if res.CoalesceRate < 0 || res.CoalesceRate > 1 {
+		t.Fatalf("coalesce rate %g outside [0, 1]", res.CoalesceRate)
+	}
+}
+
+// TestLoadgenRetriesBackpressure drives a deliberately tiny admission
+// budget: the run must still complete every request by honoring 429 +
+// Retry-After, and report the rejections it absorbed.
+func TestLoadgenRetriesBackpressure(t *testing.T) {
+	srv := serve.New(serve.Config{MaxInflight: 2, CoalesceWait: 5 * time.Millisecond, RetryAfter: time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Concurrency: 8,
+		Requests:    48,
+		N:           32,
+		MaxRetries:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d requests lost despite retries", res.Errors)
+	}
+	t.Logf("completed %d requests through a budget of 2 with %d rejections retried", res.Requests, res.Rejected429)
+}
+
+func TestRequestBodyDeterministic(t *testing.T) {
+	a := requestBody(Options{N: 16}.withDefaults(), 7)
+	b := requestBody(Options{N: 16}.withDefaults(), 7)
+	c := requestBody(Options{N: 16}.withDefaults(), 8)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seq produced different payloads")
+		}
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seq produced identical payloads")
+	}
+	for i, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("payload value %d = %g outside [-1, 1)", i, v)
+		}
+		if float64(float32(v)) != v {
+			t.Fatalf("payload value %d = %g not float32-exact", i, v)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(vals, 0.5); q != 5 {
+		t.Errorf("p50 = %g, want 5", q)
+	}
+	if q := quantile(vals, 0.99); q != 10 {
+		t.Errorf("p99 = %g, want 10", q)
+	}
+	if q := quantile(vals[:1], 0.5); q != 1 {
+		t.Errorf("single-sample p50 = %g, want 1", q)
+	}
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmtfft/internal/fft"
+	"xmtfft/internal/metrics"
+)
+
+// postJSON fires one request document and decodes the result.
+func postJSON(t *testing.T, ts *httptest.Server, q *Request) (*http.Response, *Response, *errorBody) {
+	t.Helper()
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/transform", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		return resp, &out, nil
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode error body (status %d): %v", resp.StatusCode, err)
+	}
+	return resp, nil, &eb
+}
+
+// impulse returns the interleaved unit impulse of n complex elements:
+// its transform is all-ones, easy to eyeball when a test fails.
+func impulse(n int) []float64 {
+	data := make([]float64, 2*n)
+	data[0] = 1
+	return data
+}
+
+func TestTransform1DForwardInverseRoundTrip(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	const n = 16
+	in := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		in[2*i] = float64(i%5) - 2
+		in[2*i+1] = float64(i%3) - 1
+	}
+	resp, fwd, _ := postJSON(t, ts, &Request{Dims: []int{n}, Dtype: "complex128", Dir: "forward", Data: in})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forward status %d", resp.StatusCode)
+	}
+	if len(fwd.Data) != 2*n {
+		t.Fatalf("forward returned %d floats, want %d", len(fwd.Data), 2*n)
+	}
+	resp, inv, _ := postJSON(t, ts, &Request{Dims: []int{n}, Dtype: "complex128", Dir: "inverse", Data: fwd.Data})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inverse status %d", resp.StatusCode)
+	}
+	for i := range in {
+		if diff := inv.Data[i] - in[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("round trip diverged at %d: %g vs %g", i, inv.Data[i], in[i])
+		}
+	}
+}
+
+func TestTransformRoutesAndShapes(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	cases := []struct {
+		name string
+		q    *Request
+	}{
+		{"1d_c64", &Request{Dims: []int{8}, Dtype: "complex64", Dir: "forward", Data: impulse(8)}},
+		{"2d", &Request{Dims: []int{4, 8}, Dtype: "complex128", Dir: "forward", Data: impulse(32)}},
+		{"3d", &Request{Dims: []int{4, 4, 8}, Dtype: "complex64", Dir: "inverse", Data: impulse(128)}},
+		{"1d_batch", &Request{Dims: []int{8}, Dtype: "complex128", Dir: "forward",
+			Batch: &BatchSpec{HowMany: 3, Stride: 1, Dist: 8}, Data: impulse(24)}},
+		{"norm_unitary", &Request{Dims: []int{8}, Dtype: "complex128", Dir: "forward", Norm: "unitary", Data: impulse(8)}},
+	}
+	for _, tc := range cases {
+		resp, out, eb := postJSON(t, ts, tc.q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (%+v)", tc.name, resp.StatusCode, eb)
+		}
+		if len(out.Data) != len(tc.q.Data) {
+			t.Fatalf("%s: %d floats back, want %d", tc.name, len(out.Data), len(tc.q.Data))
+		}
+	}
+}
+
+func TestMalformedRequestsGet400(t *testing.T) {
+	srv := New(Config{MaxBodyBytes: 1 << 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	for name, body := range malformedCorpus() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/transform", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: post: %v", name, err)
+		}
+		var eb errorBody
+		err = json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if err != nil || eb.Error == "" {
+			t.Errorf("%s: 400 body is not the JSON error shape (decode err %v)", name, err)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/transform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAdmissionControl429 fills the in-flight budget with a request
+// parked in a coalesce window, then shows the next arrival is refused
+// with 429 and a Retry-After hint instead of queueing without bound.
+func TestAdmissionControl429(t *testing.T) {
+	srv := New(Config{MaxInflight: 1, CoalesceWait: 300 * time.Millisecond, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	q := &Request{Dims: []int{8}, Dtype: "complex64", Dir: "forward", Data: impulse(8)}
+	first := make(chan int, 1)
+	go func() {
+		resp, _, _ := postJSON(t, ts, q)
+		first <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first request park in its window
+	resp, _, eb := postJSON(t, ts, q)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", resp.Header.Get("Retry-After"))
+	}
+	if eb.Error == "" {
+		t.Fatal("429 without a JSON error body")
+	}
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request status %d, want 200", code)
+	}
+
+	exp := scrape(t, srv)
+	if v, ok := exp.Value("xmtserve_requests_rejected_total", nil); !ok || v != 1 {
+		t.Fatalf("xmtserve_requests_rejected_total = %g, %v; want 1", v, ok)
+	}
+}
+
+// TestGracefulDrain verifies the SIGTERM story at the library level:
+// during Shutdown new work gets 503 + Retry-After, /healthz flips to
+// draining, and in-flight requests complete.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(Config{CoalesceWait: 200 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := &Request{Dims: []int{8}, Dtype: "complex64", Dir: "forward", Data: impulse(8)}
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _, _ := postJSON(t, ts, q)
+		inflight <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+	time.Sleep(50 * time.Millisecond)
+
+	resp, _, _ := postJSON(t, ts, q)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz during drain: status %d, want 503", hresp.StatusCode)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestShutdownTimeoutReportsInflight(t *testing.T) {
+	srv := New(Config{CoalesceWait: time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := &Request{Dims: []int{8}, Dtype: "complex64", Dir: "forward", Data: impulse(8)}
+	got := make(chan int, 1)
+	go func() {
+		resp, _, _ := postJSON(t, ts, q)
+		got <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown with an expired context and an in-flight request returned nil")
+	}
+	<-got // let the worker finish before the test tears down
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestFallbackHandlerServesUnknownPaths(t *testing.T) {
+	fallback := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "obs here")
+	})
+	srv := New(Config{Fallback: fallback})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentMixedLoad hammers every route from many goroutines —
+// the -race workhorse for the handler, pools and metrics.
+func TestConcurrentMixedLoad(t *testing.T) {
+	srv := New(Config{MaxInflight: 128, CoalesceWait: 100 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer shutdownServer(t, srv)
+
+	reqs := []*Request{
+		{Dims: []int{16}, Dtype: "complex64", Dir: "forward", Data: impulse(16)},
+		{Dims: []int{16}, Dtype: "complex128", Dir: "forward", Data: impulse(16)},
+		{Dims: []int{32}, Dtype: "complex64", Dir: "inverse", Data: impulse(32)},
+		{Dims: []int{4, 8}, Dtype: "complex128", Dir: "forward", Data: impulse(32)},
+		{Dims: []int{4, 4, 4}, Dtype: "complex64", Dir: "forward", Data: impulse(64)},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, _, eb := postJSON(t, ts, reqs[(w+i)%len(reqs)])
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("worker %d req %d: status %d (%+v)", w, i, resp.StatusCode, eb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// shutdownServer drains a test server, failing the test on error.
+func shutdownServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// scrape renders and re-parses the server's registry.
+func scrape(t *testing.T, srv *Server) *metrics.Exposition {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := srv.Registry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("encode registry: %v", err)
+	}
+	exp, err := metrics.Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse registry exposition: %v", err)
+	}
+	return exp
+}
+
+// direct1D computes the reference transform with the same cached plan
+// path the server uses.
+func direct1D[C fft.Complex](t *testing.T, n int, data []C, dir fft.Direction) []C {
+	t.Helper()
+	plan, err := fft.CachedPlan[C](n, fft.WithNorm(fft.NormByN))
+	if err != nil {
+		t.Fatalf("cached plan: %v", err)
+	}
+	out := append([]C(nil), data...)
+	if err := plan.Transform(out, dir); err != nil {
+		t.Fatalf("direct transform: %v", err)
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+// Package serve is the FFT-as-a-service layer: an HTTP server in front
+// of the concurrency-safe fft plan cache. It accepts 1D/2D/3D transform
+// requests (complex64/complex128, forward/inverse, optionally batched)
+// on POST /v1/transform, executes them through fft.CachedPlan* — with
+// per-size worker pools that coalesce concurrent same-size 1D requests
+// into single fft.BatchPlan passes (pool.go) — and applies admission
+// control: a bounded in-flight budget whose overflow is answered with
+// 429 + Retry-After instead of unbounded queueing. Shutdown drains
+// gracefully: new work is refused with 503 while accepted requests
+// finish.
+//
+// Observability rides on internal/metrics: per-route latency
+// histograms, request/rejection counters, queue-depth gauges and
+// coalescing counters, registered on the registry the caller passes in
+// (cmd/xmtserve passes harness.Obs's registry, so the series appear on
+// the same /metrics endpoint as the rest of the repo's surface).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmtfft/internal/fft"
+	"xmtfft/internal/metrics"
+)
+
+// Config sizes the service. The zero value is usable: New fills
+// defaults and builds a private registry when none is given.
+type Config struct {
+	// MaxInflight bounds admitted-but-unfinished requests (queued +
+	// executing). Arrivals beyond it get 429 + Retry-After. Default 256.
+	MaxInflight int
+	// MaxBatch caps how many coalesced requests one plan pass may
+	// carry. Default 32.
+	MaxBatch int
+	// CoalesceWait is how long a pool worker holds a formed-but-short
+	// batch open for stragglers. 0 (the default) coalesces only work
+	// already queued — no added latency, batching only under pressure.
+	CoalesceWait time.Duration
+	// MaxBodyBytes bounds a request body. Default 1<<28.
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint attached to 429/503 responses,
+	// rounded up to whole seconds. Default 1s.
+	RetryAfter time.Duration
+	// Registry receives the service's metric series; nil builds a
+	// private one (reachable via Server.Registry).
+	Registry *metrics.Registry
+	// Fallback handles every path the service does not own — the
+	// caller mounts the observability surface (/metrics, /progress,
+	// /debug/pprof) here. nil 404s.
+	Fallback http.Handler
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 28
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// serverMetrics are the series the service registers.
+type serverMetrics struct {
+	requests   *metrics.CounterVec // route, code
+	latency    *metrics.HistogramVec
+	queueDepth *metrics.Gauge
+	queueLimit *metrics.Gauge
+	rejected   *metrics.Counter
+	planPasses *metrics.Counter
+	coalesced  *metrics.Counter
+	batchSize  *metrics.Histogram
+	pools      *metrics.Gauge
+	draining   *metrics.Gauge
+}
+
+// latencyBounds covers 100µs to 10s.
+var latencyBounds = []float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests:   reg.CounterVec("xmtserve_requests", "Transform requests by route and HTTP status code.", "route", "code"),
+		latency:    reg.HistogramVec("xmtserve_request_latency_seconds", "End-to-end request latency (decode, queue, transform, encode) by route.", latencyBounds, "route"),
+		queueDepth: reg.Gauge("xmtserve_queue_depth", "Admitted requests currently queued or executing."),
+		queueLimit: reg.Gauge("xmtserve_queue_limit", "Admission bound; arrivals beyond it are rejected with 429."),
+		rejected:   reg.Counter("xmtserve_requests_rejected", "Requests refused by admission control (429)."),
+		planPasses: reg.Counter("xmtserve_plan_passes", "Plan executions in the 1D pools; coalescing makes this smaller than the request count."),
+		coalesced:  reg.Counter("xmtserve_requests_coalesced", "Requests that executed inside a multi-request batch pass."),
+		batchSize:  reg.Histogram("xmtserve_batch_size", "Requests per 1D pool plan pass.", 1, 2, 4, 8, 16, 32, 64),
+		pools:      reg.Gauge("xmtserve_pools", "Live per-size worker pools."),
+		draining:   reg.Gauge("xmtserve_draining", "1 while the server refuses new work to drain for shutdown."),
+	}
+}
+
+// Server is the transform service. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg Config
+	met *serverMetrics
+
+	inflight  atomic.Int64
+	poolCount atomic.Int64
+	draining  atomic.Bool
+	// drainMu orders wg.Add against Shutdown's wg.Wait: handlers add
+	// under RLock with draining false, Shutdown flips draining under the
+	// write lock, so no Add can start from zero once Wait begins.
+	drainMu sync.RWMutex
+	wg      sync.WaitGroup
+
+	p64  *poolSet[complex64]
+	p128 *poolSet[complex128]
+}
+
+// New builds a server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, met: newServerMetrics(cfg.Registry)}
+	s.met.queueLimit.Set(float64(cfg.MaxInflight))
+	s.p64 = newPoolSet[complex64](s)
+	s.p128 = newPoolSet[complex128](s)
+	return s
+}
+
+// Registry returns the registry carrying the service's series.
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// Handler returns the service mux: POST /v1/transform, GET /healthz,
+// everything else to cfg.Fallback.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/transform", s.handleTransform)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.cfg.Fallback != nil {
+		mux.Handle("/", s.cfg.Fallback)
+	}
+	return mux
+}
+
+// Shutdown drains the server: new requests are refused with 503,
+// admitted ones run to completion (or ctx expires), then the pool
+// workers stop. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	s.met.draining.Set(1)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with %d requests in flight: %w", s.inflight.Load(), ctx.Err())
+	}
+	s.p64.close()
+	s.p128.close()
+	return nil
+}
+
+// handleHealth is the liveness/readiness probe: 200 while serving,
+// 503 while draining.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"status":"draining"}`+"\n")
+		return
+	}
+	fmt.Fprint(w, `{"status":"ok"}`+"\n")
+}
+
+// retryAfterSeconds renders the Retry-After hint (whole seconds,
+// minimum 1 — the header does not do fractions).
+func (s *Server) retryAfterSeconds() string {
+	sec := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
+}
+
+// writeError emits the JSON error body with the given status.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// handleTransform is the one transform route. Route classification for
+// metrics happens after decode; admission control before.
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code, route := http.StatusOK, "unknown"
+	defer func() {
+		s.met.requests.With(route, strconv.Itoa(code)).Inc()
+		s.met.latency.With(route).Observe(time.Since(start).Seconds())
+	}()
+
+	if r.Method != http.MethodPost {
+		code = http.StatusMethodNotAllowed
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, code, "POST only")
+		return
+	}
+
+	// Admission control: the in-flight budget covers everything from
+	// here to the response; overflow is the client's signal to back off.
+	cur := s.inflight.Add(1)
+	defer func() {
+		s.met.queueDepth.Set(float64(s.inflight.Add(-1)))
+	}()
+	s.met.queueDepth.Set(float64(cur))
+	if int(cur) > s.cfg.MaxInflight {
+		s.met.rejected.Inc()
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, code, fmt.Sprintf("over capacity (%d in flight)", s.cfg.MaxInflight))
+		return
+	}
+
+	// Drain gate: the Add happens under RLock with draining checked
+	// false, so Shutdown (which flips draining under the write lock
+	// before waiting) either sees this request in the WaitGroup or the
+	// request sees the drain and gets the 503.
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, code, "draining")
+		return
+	}
+	s.wg.Add(1)
+	s.drainMu.RUnlock()
+	defer s.wg.Done()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	q, err := DecodeRequest(r.Body)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeError(w, code, err.Error())
+		return
+	}
+	route = routeOf(q)
+
+	resp, err := s.execute(q)
+	if err != nil {
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			code = http.StatusBadRequest
+		} else {
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Too late for a status change; the client sees the truncation.
+		return
+	}
+}
+
+// routeOf labels a validated request for metrics.
+func routeOf(q *Request) string {
+	switch {
+	case q.Batch != nil:
+		return "1d_batch"
+	case len(q.Dims) == 2:
+		return "2d"
+	case len(q.Dims) == 3:
+		return "3d"
+	default:
+		return "1d"
+	}
+}
+
+// execute dispatches a validated request to the right execution path.
+func (s *Server) execute(q *Request) (*Response, error) {
+	dir, _ := q.direction()
+	norm, _ := q.normalization()
+	resp := &Response{Dims: q.Dims, Dtype: q.Dtype, Dir: q.Dir}
+
+	run := func(exec64 func([]complex64) (int, error), exec128 func([]complex128) (int, error)) error {
+		if q.Dtype == dtypeC64 {
+			x := toComplex64(q.Data)
+			batched, err := exec64(x)
+			if err != nil {
+				return err
+			}
+			resp.Batched, resp.Data = batched, fromComplex64(x)
+			return nil
+		}
+		x := toComplex128(q.Data)
+		batched, err := exec128(x)
+		if err != nil {
+			return err
+		}
+		resp.Batched, resp.Data = batched, fromComplex128(x)
+		return nil
+	}
+
+	var err error
+	switch {
+	case q.Batch != nil:
+		// Explicit batch layout: one request, one pass, no coalescing.
+		b := q.Batch
+		err = run(
+			func(x []complex64) (int, error) { return 1, batchTransform(x, q.Dims[0], b, dir, norm) },
+			func(x []complex128) (int, error) { return 1, batchTransform(x, q.Dims[0], b, dir, norm) },
+		)
+	case len(q.Dims) == 1:
+		key := poolKey{n: q.Dims[0], dir: dir, norm: norm}
+		err = run(
+			func(x []complex64) (int, error) { return s.p64.submit(key, x) },
+			func(x []complex128) (int, error) { return s.p128.submit(key, x) },
+		)
+	case len(q.Dims) == 2:
+		err = run(
+			func(x []complex64) (int, error) { return 1, plan2DTransform(x, q.Dims, dir, norm) },
+			func(x []complex128) (int, error) { return 1, plan2DTransform(x, q.Dims, dir, norm) },
+		)
+	default:
+		err = run(
+			func(x []complex64) (int, error) { return 1, plan3DTransform(x, q.Dims, dir, norm) },
+			func(x []complex128) (int, error) { return 1, plan3DTransform(x, q.Dims, dir, norm) },
+		)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// batchTransform runs an explicit advanced-layout request through a
+// cached plan (the clone's scratch is private, so this is safe from
+// any handler goroutine).
+func batchTransform[C fft.Complex](x []C, n int, b *BatchSpec, dir fft.Direction, norm fft.Normalization) error {
+	plan, err := fft.CachedPlan[C](n, fft.WithNorm(norm))
+	if err != nil {
+		return err
+	}
+	bp, err := fft.NewBatchPlanOf(plan, b.HowMany, b.Stride, b.Dist)
+	if err != nil {
+		return err
+	}
+	return bp.Transform(x, dir)
+}
+
+// plan2DTransform executes a 2D request on a private cached-plan clone.
+func plan2DTransform[C fft.Complex](x []C, dims []int, dir fft.Direction, norm fft.Normalization) error {
+	plan, err := fft.CachedPlan2D[C](dims[0], dims[1], fft.WithNorm(norm))
+	if err != nil {
+		return err
+	}
+	return plan.Transform(x, dir)
+}
+
+// plan3DTransform executes a 3D request on a private cached-plan clone.
+func plan3DTransform[C fft.Complex](x []C, dims []int, dir fft.Direction, norm fft.Normalization) error {
+	plan, err := fft.CachedPlan3D[C](dims[0], dims[1], dims[2], fft.WithNorm(norm))
+	if err != nil {
+		return err
+	}
+	return plan.Transform(x, dir)
+}
