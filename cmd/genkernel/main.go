@@ -1,0 +1,435 @@
+// Command genkernel generates the straight-line DFT codelet kernels in
+// internal/fft/codelet: for each covered size it emits a fully unrolled
+// Stockham decimation-in-frequency pass sequence with every twiddle
+// factor folded into the instruction stream as a literal constant —
+// the genfft/FFTW "codelet" technique. Constant folding happens here,
+// at generation time: multiplications by 1 and -1 disappear, ±i becomes
+// a real/imaginary swap, and every remaining twiddle is a compile-time
+// complex literal, so the kernels run branch-free with zero twiddle-table
+// loads and zero bounds checks (the leading re-slices pin the lengths).
+//
+// The pass decomposition is exactly fft.Radices (radix 8 while
+// possible). When the pass count is odd the final pass runs in place:
+// its sub-transforms have length equal to the radix, so each butterfly
+// reads and writes the same index set and needs no second buffer —
+// the ping-pong still ends with the result in x and no copy is emitted.
+//
+// Two emission shapes keep the kernels inside the instruction cache:
+// the j dimension (distinct twiddles) is always fully unrolled, while
+// the d dimension (identical butterflies at shifted offsets) becomes a
+// constant-trip-count loop once it is wide enough to be worth one.
+//
+// Kernels are emitted per element type (complex64 and complex128) and
+// per direction; the inverse kernels are the forward ones with every
+// twiddle conjugated. Twiddle values are computed exactly as the
+// runtime table builder computes them (math.Sincos of the same float64
+// angle, then rounded to the element type), so a codelet pass and the
+// generic pass it replaces agree to the last rounding of each shared
+// operation.
+//
+// Usage (normally via go:generate in internal/fft/codelet):
+//
+//	genkernel -out internal/fft/codelet [-sizes 8,16,...,1024]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genkernel: ")
+	out := flag.String("out", "internal/fft/codelet", "output directory (the codelet package)")
+	sizesFlag := flag.String("sizes", "8,16,32,64,128,256,512,1024", "comma-separated power-of-two kernel sizes, each >= 8")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range sizes {
+		for _, ct := range []ctype{c64, c128} {
+			name := fmt.Sprintf("z_dft%04d_%s.go", n, ct.tag)
+			writeFile(filepath.Join(*out, name), genSizeFile(n, ct))
+		}
+	}
+	writeFile(filepath.Join(*out, "z_registry.go"), genRegistry(sizes))
+}
+
+// parseSizes validates the size list: powers of two, >= 8, ascending.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("invalid size %q: %v", f, err)
+		}
+		if n < 8 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("size %d is not a power of two >= 8", n)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	sort.Ints(sizes)
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] == sizes[i-1] {
+			return nil, fmt.Errorf("duplicate size %d", sizes[i])
+		}
+	}
+	return sizes, nil
+}
+
+// writeFile gofmt-formats src and writes it.
+func writeFile(path string, src []byte) {
+	formatted, err := format.Source(src)
+	if err != nil {
+		// Dump the unformatted source to ease debugging generator bugs.
+		_ = os.WriteFile(path+".bad", src, 0o644)
+		log.Fatalf("%s: generated source does not parse: %v", path, err)
+	}
+	if err := os.WriteFile(path, formatted, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path, "-", len(formatted), "bytes")
+}
+
+// ctype is an element type the kernels are emitted for.
+type ctype struct {
+	name string // Go type name
+	tag  string // file/function suffix
+	bits int    // mantissa rounding target for constants (32 or 64)
+}
+
+var (
+	c64  = ctype{name: "complex64", tag: "c64", bits: 32}
+	c128 = ctype{name: "complex128", tag: "c128", bits: 64}
+)
+
+// passRadices decomposes a power-of-two n >= 8 into Stockham pass
+// radices with the fft.Radices greedy rule: radix 8 while possible,
+// then a final 4 or 2.
+func passRadices(n int) []int {
+	e := 0
+	for v := n; v > 1; v >>= 1 {
+		e++
+	}
+	var rs []int
+	for rem := e; rem > 0; {
+		switch {
+		case rem >= 3:
+			rs = append(rs, 8)
+			rem -= 3
+		case rem == 2:
+			rs = append(rs, 4)
+			rem -= 2
+		default:
+			rs = append(rs, 2)
+			rem--
+		}
+	}
+	return rs
+}
+
+// dLoopMin is the d-dimension width from which the generator emits a
+// constant-trip-count loop instead of unrolling: the butterflies of one
+// j share their twiddles, so looping d loses no constant folding and
+// keeps large kernels inside the instruction cache.
+const dLoopMin = 8
+
+// gen accumulates generated source.
+type gen struct {
+	buf bytes.Buffer
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteByte('\n')
+}
+
+func header(g *gen) {
+	g.pf("// Code generated by cmd/genkernel. DO NOT EDIT.")
+	g.pf("")
+	g.pf("package codelet")
+	g.pf("")
+}
+
+// genSizeFile emits the forward and inverse kernels for one size and
+// element type.
+func genSizeFile(n int, ct ctype) []byte {
+	g := &gen{}
+	header(g)
+	rs := passRadices(n)
+	g.pf("// %d-point straight-line kernels (%s), pass radices %v.", n, ct.name, rs)
+	genKernel(g, fmt.Sprintf("fwd%d%s", n, ct.tag), n, -1, ct)
+	genKernel(g, fmt.Sprintf("inv%d%s", n, ct.tag), n, +1, ct)
+	return g.buf.Bytes()
+}
+
+// genKernel emits one unrolled kernel: the in-place DFT of x (length n,
+// natural order in and out), using s as ping-pong scratch. With an odd
+// pass count the final pass (sub-transform length == radix, so reads
+// and writes cover the same indices) runs in place, keeping the result
+// in x either way.
+func genKernel(g *gen, name string, n, dir int, ct ctype) {
+	word := "forward"
+	if dir > 0 {
+		word = "inverse"
+	}
+	rs := passRadices(n)
+	g.pf("")
+	g.pf("// %s computes the unnormalized %s %d-point DFT of x in place;", name, word, n)
+	g.pf("// s is scratch. Both must have at least %d elements.", n)
+	g.pf("func %s(x, s []%s) {", name, ct.name)
+	g.pf("x = x[:%d:%d]", n, n)
+	if len(rs) > 1 {
+		g.pf("s = s[:%d:%d]", n, n)
+	} else {
+		g.pf("_ = s")
+	}
+	src, dst := "x", "s"
+	stride, l := 1, n
+	for i, r := range rs {
+		if i == len(rs)-1 && len(rs)%2 == 1 {
+			// Odd pass count: the final l==r pass runs in place on x.
+			if src != "x" || l != r {
+				log.Fatalf("%s: in-place final pass needs src=x and l==r, got src=%s l=%d r=%d", name, src, l, r)
+			}
+			dst = src
+		}
+		emitPass(g, src, dst, stride, l, r, dir, ct)
+		src, dst = dst, src
+		stride *= r
+		l /= r
+	}
+	if src != "x" {
+		log.Fatalf("%s: result ended in scratch", name)
+	}
+	g.pf("}")
+}
+
+// emitPass unrolls one Stockham DIF pass of radix r at state (stride, l).
+// The in-transform index j (distinct twiddles) is fully unrolled; the
+// digit prefix d (identical butterflies at shifted offsets) becomes a
+// loop once stride reaches dLoopMin. When src == dst the pass is
+// emitted in place (valid only for l == r, where each butterfly's read
+// and write index sets coincide).
+func emitPass(g *gen, src, dst string, stride, l, r, dir int, ct ctype) {
+	lr := l / r
+	inPlace := ""
+	if src == dst {
+		inPlace = " (in place)"
+	}
+	g.pf("// pass: radix %d, l=%d, stride=%d%s", r, l, stride, inPlace)
+	for j := 0; j < lr; j++ {
+		emit := func(in, out func(int) string) {
+			switch r {
+			case 2:
+				emitRadix2(g, src, dst, in, out, j, l, dir, ct)
+			case 4:
+				emitRadix4(g, src, dst, in, out, j, l, dir, ct)
+			case 8:
+				emitRadix8(g, src, dst, in, out, j, l, dir, ct)
+			default:
+				log.Fatalf("unsupported radix %d", r)
+			}
+		}
+		if stride >= dLoopMin {
+			g.pf("for d := 0; d < %d; d++ {", stride)
+			emit(
+				func(k int) string { return fmt.Sprintf("d+%d", stride*(j+k*lr)) },
+				func(m int) string { return fmt.Sprintf("d+%d", stride*(r*j+m)) },
+			)
+			g.pf("}")
+			continue
+		}
+		for d := 0; d < stride; d++ {
+			emit(
+				func(k int) string { return strconv.Itoa(d + stride*(j+k*lr)) },
+				func(m int) string { return strconv.Itoa(d + stride*(r*j+m)) },
+			)
+		}
+	}
+}
+
+func emitRadix2(g *gen, src, dst string, in, out func(int) string, j, l, dir int, ct ctype) {
+	g.pf("{")
+	g.pf("a := %s[%s]", src, in(0))
+	g.pf("b := %s[%s]", src, in(1))
+	g.pf("%s[%s] = a + b", dst, out(0))
+	emitStoreMul(g, dst, out(1), "a - b", j, l, dir, ct)
+	g.pf("}")
+}
+
+func emitRadix4(g *gen, src, dst string, in, out func(int) string, j, l, dir int, ct ctype) {
+	g.pf("{")
+	for k := 0; k < 4; k++ {
+		g.pf("t%d := %s[%s]", k, src, in(k))
+	}
+	g.pf("a := t0 + t2")
+	g.pf("b := t0 - t2")
+	g.pf("c := t1 + t3")
+	g.pf("u := t1 - t3")
+	g.pf("e := %s", mulIExpr("u", dir))
+	g.pf("%s[%s] = a + c", dst, out(0))
+	emitStoreMul(g, dst, out(1), "b + e", j, l, dir, ct)
+	emitStoreMul(g, dst, out(2), "a - c", 2*j, l, dir, ct)
+	emitStoreMul(g, dst, out(3), "b - e", 3*j, l, dir, ct)
+	g.pf("}")
+}
+
+func emitRadix8(g *gen, src, dst string, in, out func(int) string, j, l, dir int, ct ctype) {
+	h := math.Sqrt2 / 2
+	w8 := fmtComplex(h, float64(dir)*h, ct)   // ω_8^{dir}
+	w83 := fmtComplex(-h, float64(dir)*h, ct) // i·dir · ω_8^{dir} = ω_8^{3·dir}
+	g.pf("{")
+	for k := 0; k < 8; k++ {
+		g.pf("t%d := %s[%s]", k, src, in(k))
+	}
+	// E = DFT4(t0,t2,t4,t6), O = DFT4(t1,t3,t5,t7), as in the generic pass.
+	g.pf("a0 := t0 + t4")
+	g.pf("b0 := t0 - t4")
+	g.pf("c0 := t2 + t6")
+	g.pf("u0 := t2 - t6")
+	g.pf("p0 := %s", mulIExpr("u0", dir))
+	g.pf("e0 := a0 + c0")
+	g.pf("e1 := b0 + p0")
+	g.pf("e2 := a0 - c0")
+	g.pf("e3 := b0 - p0")
+	g.pf("a1 := t1 + t5")
+	g.pf("b1 := t1 - t5")
+	g.pf("c1 := t3 + t7")
+	g.pf("u1 := t3 - t7")
+	g.pf("p1 := %s", mulIExpr("u1", dir))
+	g.pf("o0 := a1 + c1")
+	g.pf("o1 := (b1 + p1) * %s", w8)
+	g.pf("q := a1 - c1")
+	g.pf("o2 := %s", mulIExpr("q", dir))
+	g.pf("o3 := (b1 - p1) * %s", w83)
+	for m := 0; m < 4; m++ {
+		g.pf("y%d := e%d + o%d", m, m, m)
+		g.pf("y%d := e%d - o%d", m+4, m, m)
+	}
+	for m := 0; m < 8; m++ {
+		emitStoreMul(g, dst, out(m), fmt.Sprintf("y%d", m), m*j, l, dir, ct)
+	}
+	g.pf("}")
+}
+
+// mulIExpr returns the expression for v·(dir·i): the strength-reduced
+// multiplication by ±i.
+func mulIExpr(v string, dir int) string {
+	if dir < 0 { // ·(-i): (re+im·i)(-i) = im - re·i
+		return fmt.Sprintf("complex(imag(%s), -real(%s))", v, v)
+	}
+	return fmt.Sprintf("complex(-imag(%s), real(%s))", v, v)
+}
+
+// emitStoreMul emits dst[idx] = (expr) · ω_l^{dir·e}, folding trivial
+// twiddles: 1 disappears, -1 negates, ±i swaps, everything else is a
+// literal complex constant.
+func emitStoreMul(g *gen, dst, idx, expr string, e, l, dir int, ct ctype) {
+	switch {
+	case e == 0:
+		g.pf("%s[%s] = %s", dst, idx, expr)
+	case 2*e == l:
+		g.pf("%s[%s] = -(%s)", dst, idx, expr)
+	case 4*e == l || 4*e == 3*l:
+		// angle dir·π/2 (or dir·3π/2): ±i depending on direction.
+		mdir := dir
+		if 4*e == 3*l {
+			mdir = -dir
+		}
+		g.pf("{")
+		g.pf("v := %s", expr)
+		g.pf("%s[%s] = %s", dst, idx, mulIExpr("v", mdir))
+		g.pf("}")
+	default:
+		s, c := math.Sincos(float64(dir) * 2 * math.Pi * float64(e) / float64(l))
+		g.pf("%s[%s] = (%s) * %s", dst, idx, expr, fmtComplex(c, s, ct))
+	}
+}
+
+// fmtComplex renders a complex constant rounded to the element type, so
+// the literal equals what the runtime table builder would store.
+func fmtComplex(re, im float64, ct ctype) string {
+	return fmt.Sprintf("complex(%s, %s)", fmtFloat(re, ct), fmtFloat(im, ct))
+}
+
+func fmtFloat(v float64, ct ctype) string {
+	if ct.bits == 32 {
+		return strconv.FormatFloat(float64(float32(v)), 'g', -1, 32)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// genRegistry emits the lookup tables the fft planner dispatches
+// through, plus the coverage helpers.
+func genRegistry(sizes []int) []byte {
+	g := &gen{}
+	header(g)
+	g.pf("// Registry of generated kernels. Kernel64/Kernel128 return nil for")
+	g.pf("// sizes without a generated kernel.")
+	g.pf("")
+	g.pf("// MinN and MaxN bound the covered kernel sizes.")
+	g.pf("const (")
+	g.pf("MinN = %d", sizes[0])
+	g.pf("MaxN = %d", sizes[len(sizes)-1])
+	g.pf(")")
+	g.pf("")
+	g.pf("// Covered reports whether a generated kernel exists for n.")
+	g.pf("func Covered(n int) bool {")
+	g.pf("switch n {")
+	g.pf("case %s:", joinInts(sizes))
+	g.pf("return true")
+	g.pf("}")
+	g.pf("return false")
+	g.pf("}")
+	g.pf("")
+	g.pf("// Sizes returns the covered sizes in ascending order.")
+	g.pf("func Sizes() []int {")
+	g.pf("return []int{%s}", joinInts(sizes))
+	g.pf("}")
+	for _, ct := range []ctype{c64, c128} {
+		fn := "Kernel64"
+		if ct.bits == 64 {
+			fn = "Kernel128"
+		}
+		g.pf("")
+		g.pf("// %s returns the %s kernel for n, or nil if n is uncovered.", fn, ct.name)
+		g.pf("// The returned kernel computes the unnormalized n-point DFT of x in")
+		g.pf("// place using s as scratch; both slices need at least n elements.")
+		g.pf("func %s(n int, inverse bool) func(x, s []%s) {", fn, ct.name)
+		g.pf("switch n {")
+		for _, n := range sizes {
+			g.pf("case %d:", n)
+			g.pf("if inverse {")
+			g.pf("return inv%d%s", n, ct.tag)
+			g.pf("}")
+			g.pf("return fwd%d%s", n, ct.tag)
+		}
+		g.pf("}")
+		g.pf("return nil")
+		g.pf("}")
+	}
+	return g.buf.Bytes()
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -7,9 +7,12 @@
 // as a utilization heat strip.
 //
 // With -host-bench the simulator ablations are skipped and the host
-// FFT (the FFTW-substitute baseline) is measured instead: the
+// FFT (the FFTW-substitute baseline) is measured instead: serial 1D
+// codelet-on/off pairs over the generated-kernel range, then the
 // cache-blocked fused transform rounds against the naive unblocked
-// rounds, serial and parallel, written as a BENCH_fft.json perf record.
+// rounds (plus a codelets-off run), serial and parallel, written as a
+// BENCH_fft.json perf record. -fft-gate turns the 1D codelet speedups
+// into a CI perf ratchet.
 //
 // With -sim-bench the simulator itself is measured: the same FFT
 // workload runs on the legacy serial engine and on the sharded parallel
@@ -35,6 +38,7 @@
 //	xmtbench -serve-obs :9100 # watch the run: curl :9100/metrics
 //	xmtbench -trace /tmp/bench.json -util-svg /tmp/bench.svg
 //	xmtbench -host-bench BENCH_fft.json -host-n 128,256
+//	xmtbench -host-bench BENCH_fft.json -fft-gate 1.2  # codelet perf ratchet
 //	xmtbench -sim-bench BENCH_sim.json -sim-bench-workers 1,2,4
 //	xmtbench -sim-bench BENCH_sim.json -sim-gate 1.5   # CI perf ratchet
 //	xmtbench -fault-bench BENCH_fault.json -fault-rates 0.005,0.02,0.05
@@ -71,6 +75,7 @@ func main() {
 	hostSizes := flag.String("host-n", "128,256", "comma-separated per-dimension sizes for -host-bench")
 	hostWorkers := flag.Int("host-workers", 0, "parallel worker count for -host-bench (0 = GOMAXPROCS)")
 	hostReps := flag.Int("host-reps", 1, "repetitions per -host-bench point (best run kept)")
+	fftGate := flag.Float64("fft-gate", 0, "with -host-bench: exit non-zero when any serial 1D codelet-on/off speedup falls below this ratio (0 disables the gate)")
 	faultBench := flag.String("fault-bench", "", "measure resilience overhead (cycles/GFLOPS vs fault rate) on the FFT workload and write a BENCH_fault.json perf record to this path ('-' for stdout)")
 	faultRates := flag.String("fault-rates", "0.005,0.02,0.05", "comma-separated fault rates for -fault-bench (rate 0 baseline is always included)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection streams of -fault-bench")
@@ -88,7 +93,7 @@ func main() {
 		hostWorkers: *hostWorkers, hostReps: *hostReps,
 		tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
 		simBench: *simBench, simBenchWorkers: *simBenchWorkers, simGate: *simGate,
-		hostBench: *hostBench, hostSizes: *hostSizes,
+		hostBench: *hostBench, hostSizes: *hostSizes, fftGate: *fftGate,
 		faultBench: *faultBench, faultRates: *faultRates,
 		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
 		obsSnapshotEvery: *obsSnapshotEvery, obsEpoch: *obsEpoch,
@@ -114,7 +119,7 @@ func main() {
 	}()
 
 	if *hostBench != "" {
-		if err := runHostBench(*hostBench, *hostSizes, *hostWorkers, *hostReps); err != nil {
+		if err := runHostBench(*hostBench, *hostSizes, *hostWorkers, *hostReps, *fftGate); err != nil {
 			fatal(err)
 		}
 		return
@@ -197,8 +202,10 @@ func writeRecord(path string, write func(io.Writer) error) error {
 	return nil
 }
 
-// runHostBench measures the host FFT and writes the perf record.
-func runHostBench(path, sizeList string, workers, reps int) error {
+// runHostBench measures the host FFT, writes the perf record, and (when
+// gate > 0) fails if any serial 1D codelet-on/off speedup falls below
+// the gate — the host-FFT analog of the -sim-gate CI ratchet.
+func runHostBench(path, sizeList string, workers, reps int, gate float64) error {
 	sizes, err := parseIntList("-host-n", sizeList)
 	if err != nil {
 		return err
@@ -208,14 +215,41 @@ func runHostBench(path, sizeList string, workers, reps int) error {
 		return err
 	}
 	for _, r := range rec.Results {
-		fmt.Printf("%-36s %12v  %7.3f GFLOPS\n", r.Label, r.Elapsed, r.GFLOPS)
+		fmt.Printf("%-44s %12v  %7.3f GFLOPS\n", r.Label, r.Elapsed, r.GFLOPS)
+	}
+	for _, n := range baseline.HostBench1DSizes {
+		if sp := rec.CodeletSpeedup1D(n); sp > 0 {
+			fmt.Printf("1d n=%-5d serial codelet speedup: %.2fx\n", n, sp)
+		}
 	}
 	for _, n := range sizes {
 		if sp := rec.BlockedSpeedup(n, 1); sp > 0 {
 			fmt.Printf("%d^3 serial blocked/naive speedup: %.2fx\n", n, sp)
 		}
+		if sp := rec.CodeletSpeedup3D(n, 1); sp > 0 {
+			fmt.Printf("%d^3 serial codelet speedup: %.2fx\n", n, sp)
+		}
 	}
-	return writeRecord(path, rec.Write)
+	if err := writeRecord(path, rec.Write); err != nil {
+		return err
+	}
+	if gate > 0 {
+		worst, worstN := 0.0, 0
+		for _, n := range baseline.HostBench1DSizes {
+			sp := rec.CodeletSpeedup1D(n)
+			if sp == 0 {
+				return fmt.Errorf("-fft-gate %.2f: no codelet-on/off pair for 1d n=%d; gate cannot be evaluated", gate, n)
+			}
+			if worst == 0 || sp < worst {
+				worst, worstN = sp, n
+			}
+		}
+		if worst < gate {
+			return fmt.Errorf("-fft-gate %.2f not met: 1d n=%d codelet speedup is %.2fx", gate, worstN, worst)
+		}
+		fmt.Printf("fft-gate ok: %.2fx >= %.2fx (worst at n=%d)\n", worst, gate, worstN)
+	}
+	return nil
 }
 
 // runSimBench measures the simulation engines, writes BENCH_sim.json,

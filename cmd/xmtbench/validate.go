@@ -32,6 +32,7 @@ type cliFlags struct {
 	simGate         float64
 	hostBench       string
 	hostSizes       string
+	fftGate         float64
 	faultBench      string
 	faultRates      string
 	obsBench        string
@@ -118,6 +119,12 @@ func validateFlags(f cliFlags) error {
 		if f.simGate > 0 && !hasSerial {
 			return fmt.Errorf("-sim-gate compares the workers=1 sharded run against legacy; -sim-bench-workers must include 1")
 		}
+	}
+	if f.fftGate < 0 {
+		return fmt.Errorf("-fft-gate must be >= 0 (0 disables the gate), got %g", f.fftGate)
+	}
+	if f.fftGate > 0 && f.hostBench == "" {
+		return fmt.Errorf("-fft-gate requires -host-bench")
 	}
 	if f.hostBench != "" {
 		sizes, err := parseIntList("-host-n", f.hostSizes)

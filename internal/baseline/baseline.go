@@ -137,12 +137,14 @@ func TableI() []XMTSpeedup {
 // HostResult is one measured run of this repository's Go FFT on the
 // host machine: the runnable stand-in for FFTW.
 type HostResult struct {
-	Label   string        `json:"label"`
-	N       int           `json:"n"` // points per dimension (3D)
-	Workers int           `json:"workers"`
-	Block   int           `json:"block"` // fused-round tile edge; 1 = naive unblocked
-	Elapsed time.Duration `json:"elapsed_ns"`
-	GFLOPS  float64       `json:"gflops"` // 5·N·log2(N) convention
+	Label    string        `json:"label"`
+	Dim      int           `json:"dim,omitempty"` // 1 or 3; 0 in legacy records means 3
+	N        int           `json:"n"`             // points per dimension
+	Workers  int           `json:"workers"`
+	Block    int           `json:"block"` // fused-round tile edge; 1 = naive unblocked (3D only)
+	Codelets bool          `json:"codelets"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	GFLOPS   float64       `json:"gflops"` // 5·N·log2(N) convention
 }
 
 // MeasureHost3D times a single-precision n³ 3D FFT on the host with the
@@ -157,11 +159,15 @@ func MeasureHost3D(n, workers, reps int) (HostResult, error) {
 // edge (0 = default blocking, 1 = the naive unblocked round); the
 // blocked-vs-naive pair is the ablation BENCH_fft.json records. Plans
 // come from the shared fft plan cache, so repeated measurements of one
-// shape reuse the twiddle tables.
+// shape reuse the twiddle tables. Codelet leaves are on (the default).
 func MeasureHost3DBlock(n, workers, reps, block int) (HostResult, error) {
-	if reps < 1 {
-		reps = 1
-	}
+	return MeasureHost3DCodelets(n, workers, reps, block, true)
+}
+
+// MeasureHost3DCodelets is MeasureHost3DBlock with an explicit codelet
+// toggle; the on/off pair is the codelet ablation BENCH_fft.json
+// records alongside blocked-vs-naive.
+func MeasureHost3DCodelets(n, workers, reps, block int, codelets bool) (HostResult, error) {
 	total := n * n * n
 	data := make([]complex64, total)
 	for i := range data {
@@ -171,28 +177,75 @@ func MeasureHost3DBlock(n, workers, reps, block int) (HostResult, error) {
 	if effBlock == 0 {
 		effBlock = fft.DefaultBlockSize
 	}
-	res := HostResult{Label: fmt.Sprintf("host go-fft %d^3 x%d workers B=%d", n, workers, effBlock),
-		N: n, Workers: workers, Block: effBlock}
+	label := fmt.Sprintf("host go-fft %d^3 x%d workers B=%d", n, workers, effBlock)
+	if !codelets {
+		label += " codelets=off"
+	}
+	res := HostResult{Label: label, Dim: 3, N: n, Workers: workers, Block: effBlock, Codelets: codelets}
 
+	opts := []fft.PlanOption{fft.WithBlockSize(block), fft.WithCodelets(codelets)}
 	var transform func([]complex64) error
 	if workers <= 1 {
-		p, err := fft.CachedPlan3D[complex64](n, n, n, fft.WithBlockSize(block))
+		p, err := fft.CachedPlan3D[complex64](n, n, n, opts...)
 		if err != nil {
 			return res, err
 		}
 		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
 	} else {
-		p, err := fft.CachedParallelPlan3D[complex64](n, n, n, workers, fft.WithBlockSize(block))
+		p, err := fft.CachedParallelPlan3D[complex64](n, n, n, workers, opts...)
 		if err != nil {
 			return res, err
 		}
 		transform = func(x []complex64) error { return p.Transform(x, fft.Forward) }
 	}
+	return timeTransform(res, data, transform, reps, 1, total)
+}
 
-	// One untimed warmup pass faults in the freshly allocated plan and
-	// copy buffers, so the timed repetitions measure the steady state
-	// rather than first-touch page costs.
-	buf := make([]complex64, total)
+// MeasureHost1D times single-precision serial n-point 1D transforms with
+// the codelet leaves on or off: the microbenchmark pair behind the
+// "Host FFT performance" numbers. A single row is microseconds, so each
+// repetition times a batch of iterations and reports the per-transform
+// time.
+func MeasureHost1D(n, reps int, codelets bool) (HostResult, error) {
+	label := fmt.Sprintf("host go-fft 1d n=%d", n)
+	if !codelets {
+		label += " codelets=off"
+	}
+	res := HostResult{Label: label, Dim: 1, N: n, Workers: 1, Codelets: codelets}
+	p, err := fft.CachedPlan[complex64](n, fft.WithCodelets(codelets))
+	if err != nil {
+		return res, err
+	}
+	data := make([]complex64, n)
+	for i := range data {
+		data[i] = complex(float32(i%17)-8, float32(i%11)-5)
+	}
+	// ~4M points per repetition keeps each batch in the tens of
+	// milliseconds, long enough for stable timer resolution.
+	iters := 1 << 22 / n
+	if iters < 1 {
+		iters = 1
+	}
+	transform := func(x []complex64) error {
+		for i := 0; i < iters; i++ {
+			if err := p.Transform(x, fft.Forward); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return timeTransform(res, data, transform, reps, iters, n)
+}
+
+// timeTransform runs one untimed warmup (faulting in freshly allocated
+// plan and copy buffers so the timed repetitions measure the steady
+// state rather than first-touch page costs), then keeps the best of
+// reps timed runs, normalizing by the iterations per run.
+func timeTransform(res HostResult, data []complex64, transform func([]complex64) error, reps, iters, points int) (HostResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	buf := make([]complex64, len(data))
 	copy(buf, data)
 	if err := transform(buf); err != nil {
 		return res, err
@@ -210,7 +263,10 @@ func MeasureHost3DBlock(n, workers, reps, block int) (HostResult, error) {
 			best = d
 		}
 	}
-	res.Elapsed = best
-	res.GFLOPS = stats.StandardFFTFlops(total) / best.Seconds() / 1e9
+	res.Elapsed = best / time.Duration(iters)
+	if res.Elapsed <= 0 {
+		res.Elapsed = 1
+	}
+	res.GFLOPS = stats.StandardFFTFlops(points) / res.Elapsed.Seconds() / 1e9
 	return res, nil
 }

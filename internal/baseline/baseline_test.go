@@ -94,9 +94,27 @@ func TestRunHostBenchRecord(t *testing.T) {
 	if rec.BlockedSpeedup(99, 1) != 0 {
 		t.Error("speedup reported for an unmeasured size")
 	}
+	// Codelet-on/off pairs: 1D at every standard size, 3D at each n³.
+	for _, n := range HostBench1DSizes {
+		if sp := rec.CodeletSpeedup1D(n); sp <= 0 {
+			t.Errorf("record lacks a 1D codelet pair at n=%d", n)
+		}
+	}
+	if sp := rec.CodeletSpeedup3D(8, 1); sp <= 0 {
+		t.Error("record lacks a serial 3D codelet pair at n=8")
+	}
+	if rec.CodeletSpeedup1D(99) != 0 || rec.CodeletSpeedup3D(99, 1) != 0 {
+		t.Error("codelet speedup reported for an unmeasured size")
+	}
 	for _, r := range rec.Results {
-		if r.Block < 1 {
+		if r.Dim != 1 && r.Dim != 3 {
+			t.Errorf("missing dimensionality in %+v", r)
+		}
+		if r.Dim == 3 && r.Block < 1 {
 			t.Errorf("unexpected block edge in %+v", r)
+		}
+		if r.Dim == 1 && r.Block != 0 {
+			t.Errorf("1D row carries a block edge: %+v", r)
 		}
 		if r.Elapsed <= 0 || r.GFLOPS <= 0 {
 			t.Errorf("unmeasured result %+v", r)

@@ -20,31 +20,51 @@ type BenchRecord struct {
 	Results    []HostResult `json:"results"`
 }
 
-// RunHostBench measures the blocked (default tile) and naive
-// (WithBlockSize(1)) fused rounds at each n³, serially and — when the
-// machine has more than one worker available — in parallel, keeping the
-// best of reps runs per point.
+// HostBench1DSizes are the serial 1D sizes RunHostBench measures as
+// codelet-on/off pairs: the generated-kernel coverage range.
+var HostBench1DSizes = []int{64, 128, 256, 512, 1024}
+
+// RunHostBench measures the host FFT three ways: serial 1D transforms
+// with codelet leaves on and off over HostBench1DSizes, then at each n³
+// (serially and — when the machine has more than one worker available —
+// in parallel) the blocked (default tile) and naive (WithBlockSize(1))
+// fused rounds plus a codelets-off blocked run, keeping the best of
+// reps runs per point.
 func RunHostBench(sizes []int, workers, reps int) (BenchRecord, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rec := BenchRecord{
-		Name:       "host-fft blocked-vs-naive",
+		Name:       "host-fft codelet and blocking ablations",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	for _, n := range HostBench1DSizes {
+		for _, codelets := range []bool{true, false} {
+			r, err := MeasureHost1D(n, reps, codelets)
+			if err != nil {
+				return rec, fmt.Errorf("baseline: 1d n=%d codelets=%v: %w", n, codelets, err)
+			}
+			rec.Results = append(rec.Results, r)
+		}
+	}
 	workerCounts := []int{1}
 	if workers > 1 {
 		workerCounts = append(workerCounts, workers)
 	}
+	type cfg struct {
+		block    int
+		codelets bool
+	}
 	for _, n := range sizes {
 		for _, w := range workerCounts {
-			for _, block := range []int{0, 1} { // default blocking, then naive
-				r, err := MeasureHost3DBlock(n, w, reps, block)
+			// Default blocking, then naive, then default with codelets off.
+			for _, c := range []cfg{{0, true}, {1, true}, {0, false}} {
+				r, err := MeasureHost3DCodelets(n, w, reps, c.block, c.codelets)
 				if err != nil {
-					return rec, fmt.Errorf("baseline: %d^3 x%d B=%d: %w", n, w, block, err)
+					return rec, fmt.Errorf("baseline: %d^3 x%d B=%d codelets=%v: %w", n, w, c.block, c.codelets, err)
 				}
 				rec.Results = append(rec.Results, r)
 			}
@@ -55,23 +75,63 @@ func RunHostBench(sizes []int, workers, reps int) (BenchRecord, error) {
 
 // BlockedSpeedup returns the blocked-over-naive elapsed-time ratio for
 // the given size and worker count, or 0 if the record lacks the pair.
+// Both sides are taken at the same codelet setting (codelets on when
+// the record has such rows; legacy records predate the field).
 func (r BenchRecord) BlockedSpeedup(n, workers int) float64 {
 	var blocked, naive *HostResult
 	for i := range r.Results {
 		h := &r.Results[i]
-		if h.N != n || h.Workers != workers {
+		if h.N != n || h.Workers != workers || h.Dim == 1 {
 			continue
 		}
 		if h.Block == 1 {
-			naive = h
-		} else {
+			if naive == nil || h.Codelets {
+				naive = h
+			}
+		} else if blocked == nil || h.Codelets {
 			blocked = h
 		}
 	}
-	if blocked == nil || naive == nil || blocked.Elapsed <= 0 {
+	if blocked == nil || naive == nil || blocked.Elapsed <= 0 || blocked.Codelets != naive.Codelets {
 		return 0
 	}
 	return float64(naive.Elapsed) / float64(blocked.Elapsed)
+}
+
+// CodeletSpeedup1D returns the codelets-off over codelets-on elapsed
+// ratio of the serial 1D pair at size n, or 0 if the record lacks it.
+func (r BenchRecord) CodeletSpeedup1D(n int) float64 {
+	return r.codeletSpeedup(func(h *HostResult) bool {
+		return h.Dim == 1 && h.N == n
+	})
+}
+
+// CodeletSpeedup3D returns the codelets-off over codelets-on elapsed
+// ratio at n³ with the given worker count (both sides at default
+// blocking), or 0 if the record lacks the pair.
+func (r BenchRecord) CodeletSpeedup3D(n, workers int) float64 {
+	return r.codeletSpeedup(func(h *HostResult) bool {
+		return h.Dim != 1 && h.N == n && h.Workers == workers && h.Block != 1
+	})
+}
+
+func (r BenchRecord) codeletSpeedup(match func(*HostResult) bool) float64 {
+	var on, off *HostResult
+	for i := range r.Results {
+		h := &r.Results[i]
+		if !match(h) {
+			continue
+		}
+		if h.Codelets {
+			on = h
+		} else {
+			off = h
+		}
+	}
+	if on == nil || off == nil || on.Elapsed <= 0 {
+		return 0
+	}
+	return float64(off.Elapsed) / float64(on.Elapsed)
 }
 
 // Write emits the record as indented JSON.

@@ -32,7 +32,7 @@ func NewBluestein[C Complex](n int, opts ...PlanOption) (*BluesteinPlan[C], erro
 	if n < 1 {
 		return nil, fmt.Errorf("fft: bluestein size %d must be positive", n)
 	}
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -26,12 +26,12 @@ var (
 // cacheKey canonicalizes a plan identity: kind, element type, shape,
 // worker count, and the resolved option set.
 func cacheKey[T Complex](kind string, dims []int, workers int, opts []PlanOption) string {
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	var zero T
-	return fmt.Sprintf("%s %T %v w%d n%d r%v b%d", kind, zero, dims, workers, cfg.norm, cfg.radices, cfg.block)
+	return fmt.Sprintf("%s %T %v w%d n%d r%v b%d c%v", kind, zero, dims, workers, cfg.norm, cfg.radices, cfg.block, cfg.codelets)
 }
 
 // cachedBuild returns the cached value for key, building it outside the

@@ -9,11 +9,13 @@ import (
 func TestCachedPlanClonesShareTables(t *testing.T) {
 	defer ResetPlanCache()
 	ResetPlanCache()
-	a, err := CachedPlan[complex128](64)
+	// Codelets off so the plan actually owns twiddle tables to share (a
+	// fully-covered codelet plan has none).
+	a, err := CachedPlan[complex128](64, WithCodelets(false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CachedPlan[complex128](64)
+	b, err := CachedPlan[complex128](64, WithCodelets(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,6 +27,24 @@ func TestCachedPlanClonesShareTables(t *testing.T) {
 	}
 	if &a.scratch[0] == &b.scratch[0] {
 		t.Error("clones share scratch")
+	}
+	// Default (codelet) plans clone too: kernels shared, scratch private.
+	ca, err := CachedPlan[complex128](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CachedPlan[complex128](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca == cb {
+		t.Fatal("CachedPlan returned the same codelet plan instance twice")
+	}
+	if !ca.UsesCodelets() || ca.LeafN() != 64 {
+		t.Fatalf("default cached plan has leafN=%d, want codelet leaf 64", ca.LeafN())
+	}
+	if &ca.scratch[0] == &cb.scratch[0] {
+		t.Error("codelet plan clones share scratch")
 	}
 	// Cached result matches a fresh plan.
 	rng := rand.New(rand.NewSource(50))

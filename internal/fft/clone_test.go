@@ -12,7 +12,10 @@ import (
 // below fails — forcing whoever adds the field to decide how Clone
 // treats it and then extend both Clone and this list.
 var cloneHandledFields = map[reflect.Type][]string{
-	reflect.TypeOf(Plan[complex64]{}):      {"n", "radices", "norm", "tw", "scratch"},
+	reflect.TypeOf(Plan[complex64]{}): {"n", "radices", "norm", "tw", "scratch",
+		// Codelet leaf: leafN/leafFwd/leafInv are immutable and shared;
+		// leafBuf is per-call scratch and reallocated.
+		"leafN", "leafFwd", "leafInv", "leafBuf"},
 	reflect.TypeOf(Plan2D[complex64]{}):    {"d0", "d1", "p0", "p1", "norm", "block", "buf", "tile"},
 	reflect.TypeOf(Plan3D[complex64]{}):    {"d0", "d1", "d2", "plans", "norm", "block", "buf", "tile"},
 	reflect.TypeOf(BatchPlan[complex64]{}): {"plan", "HowMany", "Stride", "Dist", "gather"},

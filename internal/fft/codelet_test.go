@@ -1,0 +1,414 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xmtfft/internal/fft/codelet"
+)
+
+// ord32 maps a float32 onto a monotone integer scale so that the
+// distance between two finite values counts representable floats
+// between them (±0 coincide).
+func ord32(f float32) int64 {
+	u := math.Float32bits(f)
+	if u&(1<<31) != 0 {
+		return -int64(u &^ (1 << 31))
+	}
+	return int64(u)
+}
+
+func ord64(f float64) int64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return -int64(u &^ (1 << 63))
+	}
+	return int64(u)
+}
+
+func absDiff(a, b int64) int64 {
+	if a < b {
+		return b - a
+	}
+	return a - b
+}
+
+// maxULP returns the largest component-wise ULP distance between two
+// complex vectors of the same element type.
+func maxULP[T Complex](got, want []T) int64 {
+	var m int64
+	for i := range got {
+		switch g := any(got[i]).(type) {
+		case complex64:
+			w := any(want[i]).(complex64)
+			m = max(m, absDiff(ord32(real(g)), ord32(real(w))))
+			m = max(m, absDiff(ord32(imag(g)), ord32(imag(w))))
+		case complex128:
+			w := any(want[i]).(complex128)
+			m = max(m, absDiff(ord64(real(g)), ord64(real(w))))
+			m = max(m, absDiff(ord64(imag(g)), ord64(imag(w))))
+		}
+	}
+	return m
+}
+
+// codeletDiffSizes is every covered size plus composed sizes that run
+// generic prefix passes ahead of the leaf (radix 2, 4 and 8 prefixes).
+func codeletDiffSizes() []int {
+	return append(codelet.Sizes(), 2*codelet.MaxN, 4*codelet.MaxN, 8*codelet.MaxN)
+}
+
+// At fully covered sizes the codelet kernels mirror the generic pass
+// algebra operation for operation with identically rounded constants,
+// with one deliberate exception: the generator folds the special angles
+// to exact ±1 and ±i, while the runtime tables carry the ~1e-16
+// off-axis dust of cis(π) = (-1, 1.2e-16) and cis(π/2) = (6.1e-17, 1).
+// For complex64 that perturbation is far below half an ULP, so the
+// paths agree essentially bit for bit; for complex128 it surfaces as a
+// few hundred ULP of benign divergence (the folded side is the more
+// accurate one — TestCodeletVsDFTOracle anchors absolute correctness).
+// Composed sizes beyond coverage factor differently (e.g. 4096 runs
+// [8 8 8 8] generically but [4]+leaf[8 8 8 2] composed) and are held to
+// the library's relative-error tolerance instead.
+func codeletMaxULP[T Complex]() int64 {
+	var zero T
+	if _, ok := any(zero).(complex64); ok {
+		return 4
+	}
+	return 4096 // observed ≤512; ~9e-13 relative, well under tol128
+}
+
+func relTol[T Complex]() float64 {
+	var zero T
+	if _, ok := any(zero).(complex64); ok {
+		return tol64
+	}
+	return tol128
+}
+
+func diffOne[T Complex](t *testing.T, n int, dir Direction, norm Normalization, x []T) {
+	t.Helper()
+	on, err := NewPlan[T](n, WithNorm(norm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewPlan[T](n, WithNorm(norm), WithCodelets(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= codelet.MaxN && on.LeafN() != n {
+		t.Fatalf("n=%d: leafN=%d, want full codelet coverage", n, on.LeafN())
+	}
+	if n > codelet.MaxN && (on.LeafN() != codelet.MaxN || on.NumPasses() == 0) {
+		t.Fatalf("n=%d: leafN=%d passes=%d, want composed %d-leaf plan",
+			n, on.LeafN(), on.NumPasses(), codelet.MaxN)
+	}
+	if off.UsesCodelets() {
+		t.Fatalf("n=%d: WithCodelets(false) plan still has a leaf", n)
+	}
+	got := append([]T(nil), x...)
+	want := append([]T(nil), x...)
+	if err := on.Transform(got, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Transform(want, dir); err != nil {
+		t.Fatal(err)
+	}
+	if n <= codelet.MaxN {
+		if u := maxULP(got, want); u > codeletMaxULP[T]() {
+			t.Errorf("n=%d dir=%d norm=%d: codelet output differs from generic by %d ULP", n, dir, norm, u)
+		}
+	} else if e := relErr(got, want); e > relTol[T]() {
+		t.Errorf("n=%d dir=%d norm=%d: composed codelet output differs from generic by %g", n, dir, norm, e)
+	}
+}
+
+// TestCodeletDifferential compares the codelet path against the generic
+// pass loop at every covered size (and composed sizes beyond coverage),
+// in both directions, under every normalization.
+func TestCodeletDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	norms := []Normalization{NormNone, NormByN, NormUnitary}
+	for _, n := range codeletDiffSizes() {
+		x64 := randVec64(rng, n)
+		x128 := randVec128(rng, n)
+		for _, dir := range []Direction{Forward, Inverse} {
+			for _, norm := range norms {
+				diffOne(t, n, dir, norm, x64)
+				diffOne(t, n, dir, norm, x128)
+			}
+		}
+	}
+}
+
+// TestCodeletVsDFTOracle anchors the codelet path to the O(N²)
+// definition directly (the differential test alone would pass if both
+// paths shared a bug).
+func TestCodeletVsDFTOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	// Every covered size plus one composed size (kept small: the oracle
+	// is O(N²)).
+	for _, n := range append(codelet.Sizes(), 2*codelet.MaxN) {
+		x := randVec128(rng, n)
+		for _, dir := range []Direction{Forward, Inverse} {
+			p, err := NewPlan[complex128](n, WithNorm(NormNone))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.UsesCodelets() {
+				t.Fatalf("n=%d: plan did not take the codelet path", n)
+			}
+			got := append([]complex128(nil), x...)
+			if err := p.Transform(got, dir); err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(got, DFT(x, dir)); e > tol128 {
+				t.Errorf("n=%d dir=%d: codelet differs from DFT oracle by %g", n, dir, e)
+			}
+		}
+	}
+}
+
+// TestWithCodeletsOffBitIdentical pins the off switch to the legacy
+// path: a WithCodelets(false) plan and an explicit WithRadices plan
+// (which has always taken the pass loop) must agree bit for bit.
+func TestWithCodeletsOffBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, n := range []int{8, 64, 256, 1024, 2048} {
+		rs, err := Radices(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := NewPlan[complex64](n, WithCodelets(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := NewPlan[complex64](n, WithRadices(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.UsesCodelets() || legacy.UsesCodelets() {
+			t.Fatalf("n=%d: expected both plans on the generic pass loop", n)
+		}
+		x := randVec64(rng, n)
+		a := append([]complex64(nil), x...)
+		b := append([]complex64(nil), x...)
+		if err := off.Transform(a, Forward); err != nil {
+			t.Fatal(err)
+		}
+		if err := legacy.Transform(b, Forward); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: WithCodelets(false) diverges from legacy path at %d: %v != %v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCodeletPlanShape checks leaf resolution across the option space:
+// full coverage at covered sizes, prefix+leaf beyond, disabled under
+// WithRadices/WithCodelets(false), and generic fallback for named
+// complex types the generator does not emit for.
+func TestCodeletPlanShape(t *testing.T) {
+	covered, _ := NewPlan[complex64](512)
+	if covered.LeafN() != 512 || covered.NumPasses() != 0 {
+		t.Errorf("512: leafN=%d passes=%d, want 512/0", covered.LeafN(), covered.NumPasses())
+	}
+	composed, _ := NewPlan[complex64](8 * codelet.MaxN)
+	if composed.LeafN() != codelet.MaxN || len(composed.PassRadices()) != 1 || composed.PassRadices()[0] != 8 {
+		t.Errorf("8·MaxN: leafN=%d radices=%v, want %d/[8]", composed.LeafN(), composed.PassRadices(), codelet.MaxN)
+	}
+	viaRadices, _ := NewPlan[complex64](64, WithRadices([]int{8, 8}))
+	if viaRadices.UsesCodelets() {
+		t.Error("WithRadices plan must not take the codelet path")
+	}
+	offOnAgain, _ := NewPlan[complex64](64, WithCodelets(false), WithCodelets(true))
+	if !offOnAgain.UsesCodelets() {
+		t.Error("WithCodelets(true) after false did not re-enable codelets")
+	}
+
+	type named complex64
+	fallback, err := NewPlan[named](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback.UsesCodelets() {
+		t.Error("named complex type matched a generated kernel; want generic fallback")
+	}
+	rng := rand.New(rand.NewSource(93))
+	x := make([]named, 64)
+	for i := range x {
+		x[i] = named(complex(float32(rng.NormFloat64()), float32(rng.NormFloat64())))
+	}
+	want := make([]complex64, 64)
+	for i := range x {
+		want[i] = complex64(x[i])
+	}
+	ref, _ := NewPlan[complex64](64, WithCodelets(false))
+	if err := ref.Transform(want, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := fallback.Transform(x, Forward); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex64, 64)
+	for i := range x {
+		got[i] = complex64(x[i])
+	}
+	if e := relErr(got, want); e > tol64 {
+		t.Errorf("named-type fallback differs from reference by %g", e)
+	}
+}
+
+// TestCodeletLeafCallCounter checks the observability counter: one
+// bump per fully-covered transform, one per strided sub-transform on
+// the composed path.
+func TestCodeletLeafCallCounter(t *testing.T) {
+	p, err := NewPlan[complex64](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex64, 256)
+	before := CodeletLeafCalls()
+	if err := p.Transform(x, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if got := CodeletLeafCalls() - before; got != 1 {
+		t.Errorf("covered transform bumped leaf counter by %d, want 1", got)
+	}
+
+	n := 4 * codelet.MaxN
+	c, err := NewPlan[complex64](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]complex64, n)
+	before = CodeletLeafCalls()
+	if err := c.Transform(y, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := CodeletLeafCalls()-before, uint64(n/codelet.MaxN); got != want {
+		t.Errorf("composed transform bumped leaf counter by %d, want %d", got, want)
+	}
+}
+
+// TestCacheKeyCoversEveryOption is the option-aliasing regression: any
+// two plans differing in a single plan-affecting option must map to
+// distinct cache keys, and a behavioral probe confirms the codelet
+// toggle in particular cannot alias.
+func TestCacheKeyCoversEveryOption(t *testing.T) {
+	defer ResetPlanCache()
+	ResetPlanCache()
+	variants := map[string][]PlanOption{
+		"default":    nil,
+		"norm":       {WithNorm(NormUnitary)},
+		"normnone":   {WithNorm(NormNone)},
+		"radices":    {WithRadices([]int{8, 8})},
+		"block":      {WithBlockSize(16)},
+		"block1":     {WithBlockSize(1)},
+		"codeletoff": {WithCodelets(false)},
+	}
+	keys := map[string]string{}
+	for name, opts := range variants {
+		k := cacheKey[complex64]("1d", []int{64}, 0, opts)
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("option sets %q and %q produce the same cache key %q", name, prev, k)
+			}
+		}
+		keys[name] = k
+	}
+	// Element type and worker count are part of the key too.
+	if cacheKey[complex64]("1d", []int{64}, 0, nil) == cacheKey[complex128]("1d", []int{64}, 0, nil) {
+		t.Error("element type does not affect the cache key")
+	}
+	if cacheKey[complex64]("par2d", []int{8, 8}, 2, nil) == cacheKey[complex64]("par2d", []int{8, 8}, 4, nil) {
+		t.Error("worker count does not affect the cache key")
+	}
+	// Behavioral check: fetching codelets-off after default must not
+	// hand back the cached codelet master.
+	on, err := CachedPlan[complex64](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := CachedPlan[complex64](64, WithCodelets(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.UsesCodelets() || off.UsesCodelets() {
+		t.Errorf("cached plans aliased across the codelet toggle: on=%v off=%v",
+			on.UsesCodelets(), off.UsesCodelets())
+	}
+}
+
+// TestCodeletRegistry sanity-checks the generated registry surface.
+func TestCodeletRegistry(t *testing.T) {
+	sizes := codelet.Sizes()
+	if len(sizes) == 0 || sizes[0] != codelet.MinN || sizes[len(sizes)-1] != codelet.MaxN {
+		t.Fatalf("registry sizes %v disagree with MinN=%d MaxN=%d", sizes, codelet.MinN, codelet.MaxN)
+	}
+	for _, n := range sizes {
+		if !codelet.Covered(n) {
+			t.Errorf("Covered(%d) = false for a listed size", n)
+		}
+		if codelet.Kernel64(n, false) == nil || codelet.Kernel64(n, true) == nil ||
+			codelet.Kernel128(n, false) == nil || codelet.Kernel128(n, true) == nil {
+			t.Errorf("registry missing a kernel for n=%d", n)
+		}
+	}
+	for _, n := range []int{0, 1, 4, 3 * codelet.MinN, 2 * codelet.MaxN} {
+		if codelet.Covered(n) {
+			t.Errorf("Covered(%d) = true for an uncovered size", n)
+		}
+		if codelet.Kernel64(n, false) != nil || codelet.Kernel128(n, true) != nil {
+			t.Errorf("registry returned a kernel for uncovered n=%d", n)
+		}
+	}
+}
+
+// FuzzCodeletDifferential feeds arbitrary byte-derived inputs through
+// both paths at a fuzzer-chosen covered size and requires ULP-level
+// agreement.
+func FuzzCodeletDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(0))
+	f.Add(int64(-7), uint8(7))
+	sizes := codeletDiffSizes()
+	f.Fuzz(func(t *testing.T, seed int64, pick uint8) {
+		n := sizes[int(pick)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		x := randVec64(rng, n)
+		diffOne(t, n, Forward, NormByN, x)
+		diffOne(t, n, Inverse, NormByN, x)
+	})
+}
+
+func benchCodelet(b *testing.B, n int, codelets bool) {
+	p, err := NewPlan[complex64](n, WithCodelets(codelets))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(float32(i%7)-3, float32(i%5)-2)
+	}
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Transform(x, Forward); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransformCodeletsOff64(b *testing.B)   { benchCodelet(b, 64, false) }
+func BenchmarkTransformCodeletsOn64(b *testing.B)    { benchCodelet(b, 64, true) }
+func BenchmarkTransformCodeletsOff256(b *testing.B)  { benchCodelet(b, 256, false) }
+func BenchmarkTransformCodeletsOn256(b *testing.B)   { benchCodelet(b, 256, true) }
+func BenchmarkTransformCodeletsOff1024(b *testing.B) { benchCodelet(b, 1024, false) }
+func BenchmarkTransformCodeletsOn1024(b *testing.B)  { benchCodelet(b, 1024, true) }
+func BenchmarkTransformCodeletsOff4096(b *testing.B) { benchCodelet(b, 4096, false) }
+func BenchmarkTransformCodeletsOn4096(b *testing.B)  { benchCodelet(b, 4096, true) }

@@ -31,7 +31,7 @@ type Plan2D[T Complex] struct {
 // NewPlan2D builds a 2D plan; both dimensions must be powers of two.
 // Radix and blocking options are forwarded to the inner row plans.
 func NewPlan2D[T Complex](d0, d1 int, opts ...PlanOption) (*Plan2D[T], error) {
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -130,7 +130,7 @@ type Plan3D[T Complex] struct {
 // NewPlan3D builds a 3D plan; all dimensions must be powers of two.
 // Radix and blocking options are forwarded to the inner row plans.
 func NewPlan3D[T Complex](d0, d1, d2 int, opts ...PlanOption) (*Plan3D[T], error) {
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}

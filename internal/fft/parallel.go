@@ -16,18 +16,26 @@ import (
 // context (rotation buffer, per-worker row-plan clones and tiles) out
 // for its own use, so calls never share mutable scratch.
 
-// Clone returns a plan sharing this plan's immutable twiddle tables
-// (built at construction) but owning private scratch, so the clone can
-// run concurrently with the original — and Clone itself is safe to call
-// from any goroutine.
+// Clone returns a plan sharing this plan's immutable twiddle tables and
+// codelet kernels (built at construction) but owning private scratch —
+// including the leaf gather buffer — so the clone can run concurrently
+// with the original, and Clone itself is safe to call from any
+// goroutine.
 func (p *Plan[T]) Clone() *Plan[T] {
-	return &Plan[T]{
+	c := &Plan[T]{
 		n:       p.n,
 		radices: p.radices,
 		norm:    p.norm,
 		tw:      p.tw,
 		scratch: make([]T, p.n),
+		leafN:   p.leafN,
+		leafFwd: p.leafFwd,
+		leafInv: p.leafInv,
 	}
+	if p.leafBuf != nil {
+		c.leafBuf = make([]T, len(p.leafBuf))
+	}
+	return c
 }
 
 // exec is the per-Transform-call scratch of a parallel plan: the
@@ -73,7 +81,7 @@ type ParallelPlan3D[T Complex] struct {
 // count (0 means GOMAXPROCS). Radix and blocking options are forwarded
 // to the row plans.
 func NewParallelPlan3D[T Complex](d0, d1, d2, workers int, opts ...PlanOption) (*ParallelPlan3D[T], error) {
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -224,7 +232,7 @@ type ParallelPlan2D[T Complex] struct {
 // NewParallelPlan2D builds a parallel 2D plan (workers 0 = GOMAXPROCS).
 // Radix and blocking options are forwarded to the row plans.
 func NewParallelPlan2D[T Complex](d0, d1, workers int, opts ...PlanOption) (*ParallelPlan2D[T], error) {
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -17,15 +17,33 @@ type Plan[T Complex] struct {
 	norm    Normalization
 	tw      map[Direction][][]T // per-direction, per-pass tables
 	scratch []T
+
+	// Codelet leaf (see codelets.go). leafN == n means the whole
+	// transform runs as one generated straight-line kernel; 0 < leafN < n
+	// means radices holds only the generic prefix passes and leafStage
+	// finishes each strided sub-transform through the kernel; leafN == 0
+	// means the plan is pure pass-loop (codelets off or size/type
+	// uncovered).
+	leafN   int
+	leafFwd func(x, scratch []T)
+	leafInv func(x, scratch []T)
+	leafBuf []T // gather/scatter + kernel scratch for composed plans
 }
 
 // PlanOption configures plan construction.
 type PlanOption func(*planConfig)
 
 type planConfig struct {
-	norm    Normalization
-	radices []int
-	block   int
+	norm     Normalization
+	radices  []int
+	block    int
+	codelets bool
+}
+
+// defaultPlanConfig is the configuration an option-less constructor
+// starts from: NormByN and codelet leaves enabled.
+func defaultPlanConfig() planConfig {
+	return planConfig{norm: NormByN, codelets: true}
 }
 
 // WithNorm sets the inverse-transform normalization (default NormByN).
@@ -39,6 +57,17 @@ func WithNorm(n Normalization) PlanOption {
 // row plan, so the product must match each axis length.
 func WithRadices(rs []int) PlanOption {
 	return func(c *planConfig) { c.radices = rs }
+}
+
+// WithCodelets toggles dispatch into the generated straight-line
+// kernels of internal/fft/codelet (default on). With codelets off — or
+// for sizes and element types without a generated kernel — the plan
+// executes the generic pass loop exactly as before the codelet layer
+// existed, bit for bit. An explicit WithRadices override also disables
+// codelets: the caller asked for a specific pass decomposition, which a
+// straight-line leaf would bypass.
+func WithCodelets(on bool) PlanOption {
+	return func(c *planConfig) { c.codelets = on }
 }
 
 // WithBlockSize sets the tile edge B used by the cache-blocked fused
@@ -55,7 +84,7 @@ func NewPlan[T Complex](n int, opts ...PlanOption) (*Plan[T], error) {
 	if err := checkSize(n); err != nil {
 		return nil, err
 	}
-	cfg := planConfig{norm: NormByN}
+	cfg := defaultPlanConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -84,9 +113,13 @@ func NewPlan[T Complex](n int, opts ...PlanOption) (*Plan[T], error) {
 		tw:      map[Direction][][]T{},
 		scratch: make([]T, n),
 	}
+	if cfg.codelets && cfg.radices == nil {
+		p.initCodelets()
+	}
 	// Build both directions eagerly: the table map is immutable from
 	// here on, so plans and their Clones can be shared across
-	// goroutines without synchronization.
+	// goroutines without synchronization. Codelet plans only table the
+	// generic prefix passes (none at all when the leaf covers n).
 	p.tables(Forward)
 	p.tables(Inverse)
 	return p, nil
@@ -95,11 +128,22 @@ func NewPlan[T Complex](n int, opts ...PlanOption) (*Plan[T], error) {
 // N returns the transform size.
 func (p *Plan[T]) N() int { return p.n }
 
-// NumPasses returns the number of breadth-first passes.
+// NumPasses returns the number of generic breadth-first passes the plan
+// executes. For a codelet plan this counts only the passes ahead of the
+// straight-line leaf — zero when the leaf covers the whole transform.
 func (p *Plan[T]) NumPasses() int { return len(p.radices) }
 
-// PassRadices returns a copy of the pass radix sequence.
+// PassRadices returns a copy of the generic pass radix sequence (the
+// prefix ahead of the codelet leaf, if the plan has one).
 func (p *Plan[T]) PassRadices() []int { return append([]int(nil), p.radices...) }
+
+// LeafN returns the size of the plan's codelet leaf, or 0 when the plan
+// runs entirely through the generic pass loop.
+func (p *Plan[T]) LeafN() int { return p.leafN }
+
+// UsesCodelets reports whether the plan dispatches into generated
+// straight-line kernels.
+func (p *Plan[T]) UsesCodelets() bool { return p.leafN > 0 }
 
 // tables returns (building if needed) the per-pass twiddle tables for
 // dir. The pass over sub-transforms of length L uses the table
@@ -130,6 +174,13 @@ func (p *Plan[T]) Transform(x []T, dir Direction) error {
 	if len(x) != p.n {
 		return fmt.Errorf("fft: input length %d does not match plan size %d", len(x), p.n)
 	}
+	if p.leafN == p.n && p.leafN > 0 {
+		// Fully covered: one straight-line kernel call, in place.
+		p.leaf(dir)(x, p.scratch)
+		codeletLeafCalls.Add(1)
+		applyNorm(x, p.n, dir, p.norm)
+		return nil
+	}
 	src, dst := x, p.scratch
 	s, l := 1, p.n
 	tw := p.tables(dir)
@@ -138,6 +189,9 @@ func (p *Plan[T]) Transform(x []T, dir Direction) error {
 		src, dst = dst, src
 		s *= r
 		l /= r
+	}
+	if p.leafN > 0 {
+		p.leafStage(src, s, dir)
 	}
 	if &src[0] != &x[0] {
 		copy(x, src)

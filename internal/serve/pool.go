@@ -212,6 +212,7 @@ func (p *pool[C]) execute(batch []*job[C]) {
 	}
 	m := p.srv.met
 	m.planPasses.Inc()
+	m.codeletLeaves.Set(float64(fft.CodeletLeafCalls()))
 	m.batchSize.Observe(float64(len(batch)))
 	if len(batch) > 1 {
 		m.coalesced.Add(uint64(len(batch)))

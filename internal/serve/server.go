@@ -90,6 +90,11 @@ type serverMetrics struct {
 	batchSize  *metrics.Histogram
 	pools      *metrics.Gauge
 	draining   *metrics.Gauge
+	// codeletLeaves mirrors the fft package's process-wide codelet-leaf
+	// invocation counter (refreshed after every plan pass), so the obs
+	// surface shows how much of the serve traffic runs on generated
+	// straight-line kernels.
+	codeletLeaves *metrics.Gauge
 }
 
 // latencyBounds covers 100µs to 10s.
@@ -107,6 +112,8 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		batchSize:  reg.Histogram("xmtserve_batch_size", "Requests per 1D pool plan pass.", 1, 2, 4, 8, 16, 32, 64),
 		pools:      reg.Gauge("xmtserve_pools", "Live per-size worker pools."),
 		draining:   reg.Gauge("xmtserve_draining", "1 while the server refuses new work to drain for shutdown."),
+		codeletLeaves: reg.Gauge("xmtserve_codelet_leaf_calls",
+			"Process-wide generated-kernel (codelet leaf) invocations, sampled after each plan pass."),
 	}
 }
 
