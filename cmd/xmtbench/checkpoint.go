@@ -1,0 +1,46 @@
+package main
+
+// Checkpoint/resume and graceful-stop wiring for the ablation sweep.
+// The sweep's quiescent points are variant boundaries (each variant
+// rebuilds a fresh machine), so checkpoints are meta-only: completed
+// variants and their cycle counts. Exit code 3 marks a signal-stopped
+// run, as in xmtfft.
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// exitInterrupted is the process exit code for a signal-stopped run.
+const exitInterrupted = 3
+
+// setFlags returns the names of flags explicitly set on the command
+// line, to distinguish "defaulted" from "requested" on resume.
+func setFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// notifyStop installs the SIGINT/SIGTERM handler: the first signal
+// requests a graceful stop at the next variant boundary; a second one
+// aborts immediately with the interrupted exit code.
+func notifyStop() *atomic.Bool {
+	var stopped atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		slog.Warn("signal received; stopping at the next variant boundary (send again to abort immediately)",
+			"signal", s.String())
+		stopped.Store(true)
+		s = <-ch
+		slog.Error("second signal; aborting without flushing", "signal", s.String())
+		os.Exit(exitInterrupted)
+	}()
+	return &stopped
+}

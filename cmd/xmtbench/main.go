@@ -46,6 +46,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +55,7 @@ import (
 	"time"
 
 	"xmtfft/internal/baseline"
+	"xmtfft/internal/ckpt"
 	"xmtfft/internal/harness"
 	"xmtfft/internal/viz"
 )
@@ -86,6 +88,9 @@ func main() {
 	obsBench := flag.String("obs-bench", "", "measure observability overhead (off vs telemetry vs live) and write a BENCH_obs.json perf record to this path ('-' for stdout)")
 	logLevel := flag.String("log-level", "info", "log verbosity on stderr: debug, info, warn or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+	checkpointPath := flag.String("checkpoint", "", "write a resumable sweep checkpoint to this path at variant boundaries (ablation mode)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "variants between -checkpoint writes")
+	resumePath := flag.String("resume", "", "resume an ablation sweep from this checkpoint file; unset flags adopt the checkpoint's values")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
@@ -97,13 +102,23 @@ func main() {
 		faultBench: *faultBench, faultRates: *faultRates,
 		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
 		obsSnapshotEvery: *obsSnapshotEvery, obsEpoch: *obsEpoch,
-		obsBench: *obsBench,
+		obsBench:   *obsBench,
+		checkpoint: *checkpointPath, checkpointEvery: *checkpointEvery, resume: *resumePath,
 	}); err != nil {
 		usageError(err)
 	}
 	if _, err := harness.SetupLogger(*logLevel, *logJSON); err != nil {
 		usageError(err)
 	}
+
+	// Runs last (deferred first): an interrupted sweep exits with code 3
+	// after the other defers have flushed profiles and observability.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 
 	stopProfiles, err := harness.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -167,9 +182,51 @@ func main() {
 	if *tracePath != "" || *utilSVG != "" {
 		epoch = *traceEpoch
 	}
-	rec, err := harness.AblationReportObs(os.Stdout, *tcus, *n, epoch, *simWorkers, obs)
-	if err != nil {
+
+	// Resume adopts the checkpoint's sweep parameters; explicitly-set
+	// flags that contradict it are caught by the harness.
+	set := setFlags()
+	var ck *harness.AblationCkpt
+	stopped := notifyStop()
+	if *checkpointPath != "" || *resumePath != "" {
+		ck = &harness.AblationCkpt{
+			Path:  *checkpointPath,
+			Every: *checkpointEvery,
+			Stop:  stopped.Load,
+			Obs:   obs,
+		}
+		if *resumePath != "" {
+			c, err := ckpt.Read(*resumePath)
+			if err != nil {
+				fatal(err)
+			}
+			ck.Resume = c
+			if !set["tcus"] {
+				*tcus = c.Meta.Config.TCUs
+			}
+			if !set["n"] {
+				*n = c.Meta.Dims[2]
+			}
+			if !set["sim-workers"] {
+				*simWorkers = c.Meta.Workers
+			}
+			slog.Info("resuming ablation sweep", "path", *resumePath,
+				"variants_done", c.Meta.Stage)
+		}
+	}
+	rec, err := harness.AblationReportCkpt(os.Stdout, *tcus, *n, epoch, *simWorkers, obs, ck)
+	interrupted := errors.Is(err, harness.ErrInterrupted)
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		exitCode = exitInterrupted
+		if *checkpointPath != "" {
+			fmt.Printf("interrupted; resume with -resume %s\n", *checkpointPath)
+		} else {
+			fmt.Println("interrupted")
+		}
+		return
 	}
 	if rec == nil {
 		return

@@ -41,6 +41,10 @@ type cliFlags struct {
 	obsSnapshot      string
 	obsSnapshotEvery time.Duration
 	obsEpoch         uint64
+
+	checkpoint      string
+	checkpointEvery int
+	resume          string
 }
 
 // parseIntList parses a comma-separated integer list flag.
@@ -152,6 +156,14 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.obsSnapshot != "" && f.obsSnapshotEvery <= 0 {
 		return fmt.Errorf("-obs-snapshot-every must be positive, got %v", f.obsSnapshotEvery)
+	}
+	if f.checkpoint != "" || f.resume != "" {
+		if f.hostBench != "" || f.simBench != "" || f.faultBench != "" || f.obsBench != "" {
+			return fmt.Errorf("-checkpoint and -resume cover the ablation sweep and cannot be combined with a bench mode")
+		}
+	}
+	if f.checkpoint != "" && f.checkpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1 variant, got %d", f.checkpointEvery)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"xmtfft/internal/ckpt"
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
 	"xmtfft/internal/fault"
@@ -65,22 +67,35 @@ func main() {
 	faultNoECC := flag.Bool("fault-no-ecc", false, "disable the SECDED model: DRAM bit errors pass silently")
 	faultKill := flag.Int("fault-kill-clusters", 0, "fail-stop this many clusters (chosen deterministically from -fault-seed)")
 	watchdogWindow := flag.Uint64("watchdog-window", 0, "abort if no forward progress within this many simulated cycles (0 = off)")
+	checkpointPath := flag.String("checkpoint", "", "write a resumable checkpoint to this path at phase boundaries (detailed fine-grained mode)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "phases between -checkpoint writes")
+	resumePath := flag.String("resume", "", "resume from this checkpoint file (written by -checkpoint); unset flags adopt the checkpoint's values")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
 		n: *n, dims: *dims, radix: *radix, simWorkers: *simWorkers, tcus: *tcus,
-		model: *useModel, tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
+		model: *useModel, coarse: *coarse, tracePath: *tracePath, utilSVG: *utilSVG, traceEpoch: *traceEpoch,
 		serveObs: *serveObs, obsSnapshot: *obsSnapshot,
 		obsSnapshotEvery: *obsSnapshotEvery, obsEpoch: *obsEpoch,
 		faultNoCDrop: *faultNoCDrop, faultNoCCorrupt: *faultNoCCorrupt,
 		faultDRAMBER: *faultDRAMBER, faultDRAMDBER: *faultDRAMDBER,
 		faultKill: *faultKill, watchdogWindow: *watchdogWindow,
+		checkpoint: *checkpointPath, checkpointEvery: *checkpointEvery, resume: *resumePath,
 	}); err != nil {
 		usageError(err)
 	}
 	if _, err := harness.SetupLogger(*logLevel, *logJSON); err != nil {
 		usageError(err)
 	}
+
+	// Runs last (deferred first): an interrupted run exits with code 3
+	// after the other defers have flushed profiles and observability.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 
 	stopProfiles, err := harness.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -117,34 +132,76 @@ func main() {
 		return
 	}
 
-	if *tcus != 0 {
-		if cfg, err = cfg.Scaled(*tcus); err != nil {
+	// Resume adopts the checkpoint's machine and workload parameters;
+	// explicitly-set flags that contradict it are usage errors.
+	set := setFlags()
+	var resumed *ckpt.Checkpoint
+	if *resumePath != "" {
+		c, err := ckpt.Read(*resumePath)
+		if err != nil {
 			fatal(err)
 		}
+		if err := checkResumeConflicts(c.Meta, set, resumeView{
+			cfgName: *cfgName, tcus: *tcus, n: *n, dims: *dims, radix: *radix,
+			simWorkers: *simWorkers, watchdogWindow: *watchdogWindow,
+			faultSeed: *faultSeed, faultNoCDrop: *faultNoCDrop, faultNoCCorrupt: *faultNoCCorrupt,
+			faultDRAMBER: *faultDRAMBER, faultDRAMDBER: *faultDRAMDBER,
+			faultNoECC: *faultNoECC, faultKill: *faultKill,
+		}); err != nil {
+			usageError(err)
+		}
+		resumed = c
+		if !set["sim-workers"] {
+			*simWorkers = c.Meta.Workers
+		}
+		*n, *dims, *radix = c.Meta.Dims[2], c.Meta.DimCount, c.Meta.Radix
+		*watchdogWindow = c.Meta.WatchdogWindow
 	}
-	var m *xmt.Machine
-	if *simWorkers > 0 {
-		m, err = xmt.NewParallel(cfg, *simWorkers)
+
+	var (
+		m    *xmt.Machine
+		tr   *core.Transform
+		plan fault.Plan
+	)
+	if resumed != nil {
+		cfg = resumed.Meta.Config
+		plan = resumed.Meta.Plan
+		m, tr, err = resumed.Restore(*resumePath, *simWorkers)
+		if err != nil {
+			fatal(err)
+		}
+		slog.Info("resumed from checkpoint", "path", *resumePath,
+			"phase", fmt.Sprintf("%d/%d", resumed.Meta.PhasesDone, resumed.Meta.TotalPhases),
+			"cycle", resumed.Meta.Cycle, "workers", *simWorkers)
 	} else {
-		m, err = xmt.New(cfg)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	plan := fault.Plan{
-		Seed: *faultSeed, NoCDrop: *faultNoCDrop, NoCCorrupt: *faultNoCCorrupt,
-		DRAMBitErr: *faultDRAMBER, DRAMDoubleBitErr: *faultDRAMDBER, NoECC: *faultNoECC,
-	}
-	if *faultKill > 0 {
-		plan.KillClusters = fault.PickClusters(*faultSeed, *faultKill, cfg.Clusters)
-	}
-	if plan.Active() {
-		if err := m.EnableFaults(plan); err != nil {
+		if *tcus != 0 {
+			if cfg, err = cfg.Scaled(*tcus); err != nil {
+				fatal(err)
+			}
+		}
+		if *simWorkers > 0 {
+			m, err = xmt.NewParallel(cfg, *simWorkers)
+		} else {
+			m, err = xmt.New(cfg)
+		}
+		if err != nil {
 			fatal(err)
 		}
-	}
-	if *watchdogWindow > 0 {
-		m.SetWatchdog(*watchdogWindow)
+		plan = fault.Plan{
+			Seed: *faultSeed, NoCDrop: *faultNoCDrop, NoCCorrupt: *faultNoCCorrupt,
+			DRAMBitErr: *faultDRAMBER, DRAMDoubleBitErr: *faultDRAMDBER, NoECC: *faultNoECC,
+		}
+		if *faultKill > 0 {
+			plan.KillClusters = fault.PickClusters(*faultSeed, *faultKill, cfg.Clusters)
+		}
+		if plan.Active() {
+			if err := m.EnableFaults(plan); err != nil {
+				fatal(err)
+			}
+		}
+		if *watchdogWindow > 0 {
+			m.SetWatchdog(*watchdogWindow)
+		}
 	}
 	var obs *harness.Obs
 	if *serveObs != "" || *obsSnapshot != "" {
@@ -173,38 +230,97 @@ func main() {
 		rec.Label = cfg.Name
 		m.AttachRecorder(rec)
 	}
-	var tr *core.Transform
-	switch *dims {
-	case 1:
-		tr, err = core.New1D(m, *n)
-	case 2:
-		tr, err = core.New2D(m, *n, *n)
-	case 3:
-		tr, err = core.New3D(m, *n, *n, *n)
-	default:
-		err = fmt.Errorf("dims must be 1, 2 or 3")
+	if tr == nil {
+		switch *dims {
+		case 1:
+			tr, err = core.New1D(m, *n)
+		case 2:
+			tr, err = core.New2D(m, *n, *n)
+		case 3:
+			tr, err = core.New3D(m, *n, *n, *n)
+		default:
+			err = fmt.Errorf("dims must be 1, 2 or 3")
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *radix != 0 {
+			if err := tr.SetFixedRadix(*radix); err != nil {
+				fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := range tr.Data {
+			tr.Data[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+		}
 	}
-	if err != nil {
-		fatal(err)
+
+	// Checkpoint meta describes this run; it is also the post-mortem
+	// header. On resume the original meta carries forward (only the
+	// worker count may differ within the same engine kind).
+	meta := ckpt.Meta{
+		Config: cfg, Workers: *simWorkers,
+		DimCount: *dims, Dims: dimsOf(*dims, *n), Radix: *radix, Dir: int(fft.Forward),
+		Plan: plan, WatchdogWindow: *watchdogWindow,
 	}
-	if *radix != 0 {
-		if err := tr.SetFixedRadix(*radix); err != nil {
+	if resumed != nil {
+		meta = resumed.Meta
+		meta.Workers = *simWorkers
+	}
+	if !*coarse {
+		if meta.TotalPhases, err = tr.NumPhases(); err != nil {
 			fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(1))
-	for i := range tr.Data {
-		tr.Data[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	pmPath := "xmtfft.postmortem.ckpt"
+	if *checkpointPath != "" {
+		pmPath = *checkpointPath + ".postmortem"
 	}
+	installPostMortem(m, pmPath, &meta)
+	stopped := notifyStop()
 
 	before := m.Snapshot()
 	var run stats.Run
 	if *coarse {
 		run, err = tr.RunCoarse(fft.Forward)
 	} else {
-		run, err = tr.Run(fft.Forward)
+		writeCkpt := func(done int, partial *stats.Run) error {
+			meta.PhasesDone = done
+			c, cerr := ckpt.Capture(m, tr, meta, tr.ResumeSnapshot(fft.Forward, done, *partial))
+			if cerr != nil {
+				return cerr
+			}
+			nbytes, cerr := ckpt.Write(*checkpointPath, c)
+			if cerr != nil {
+				return cerr
+			}
+			if obs != nil {
+				obs.RecordCheckpoint(nbytes, c.Meta.Cycle)
+			}
+			slog.Info("checkpoint written", "path", *checkpointPath,
+				"phase", fmt.Sprintf("%d/%d", done, meta.TotalPhases),
+				"cycle", c.Meta.Cycle, "bytes", nbytes)
+			return nil
+		}
+		ctl := core.RunControl{AfterPhase: func(done int, partial *stats.Run) error {
+			stop := stopped.Load()
+			if *checkpointPath != "" && done < meta.TotalPhases && (stop || done%*checkpointEvery == 0) {
+				if cerr := writeCkpt(done, partial); cerr != nil {
+					return cerr
+				}
+			}
+			if stop {
+				return harness.ErrInterrupted
+			}
+			return nil
+		}}
+		if resumed != nil {
+			ctl.Resume = resumed.Workload
+		}
+		run, err = tr.RunCheckpointed(fft.Forward, ctl)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, harness.ErrInterrupted)
+	if err != nil && !interrupted {
 		fatal(err)
 	}
 	if obs != nil {
@@ -215,6 +331,12 @@ func main() {
 	cycles := run.TotalCycles()
 	total := tr.N()
 	fmt.Printf("detailed simulation: %s\n", cfg)
+	if interrupted {
+		fmt.Printf("  INTERRUPTED at phase %d/%d (totals below are partial)\n", len(run.Phases), meta.TotalPhases)
+		if *checkpointPath != "" {
+			fmt.Printf("  resume with: -resume %s\n", *checkpointPath)
+		}
+	}
 	fmt.Printf("  %dD FFT, %d points: %d cycles (%.4g s at %.1f GHz)\n",
 		*dims, total, cycles, stats.Seconds(cycles, config.ClockGHz), config.ClockGHz)
 	fmt.Printf("  %.2f GFLOPS (5NlogN convention), %.2f GFLOPS actual\n",
@@ -223,6 +345,11 @@ func main() {
 	fmt.Printf("  ops: %d flops, %d loads, %d stores, %d threads, cache hit rate %.1f%%, DRAM %d bytes\n",
 		ops.FPOps, ops.Loads, ops.Stores, ops.Threads, ops.HitRate()*100, ops.DRAMBytes)
 	fmt.Printf("  utilization: FPU %.0f%%, LSU %.0f%%, DRAM %.0f%%\n", util.FPU*100, util.LSU*100, util.DRAM*100)
+	if !interrupted {
+		// Bit-exact digest of the transform output; a resumed run must
+		// reproduce the uninterrupted run's digest exactly.
+		fmt.Printf("  output sha256: %x\n", outputDigest(tr.Data))
+	}
 	if plan.Active() {
 		c := m.Counters
 		fmt.Printf("  faults (seed %d): noc drops %d, corrupts %d, retransmits %d; ecc corrected %d, uncorrectable %d, silent %d\n",
@@ -258,6 +385,9 @@ func main() {
 		writeFile(*utilSVG, func(w io.Writer) error {
 			return viz.UtilizationSVG(w, cfg.Name, rec.Epoch, rec.Samples)
 		})
+	}
+	if interrupted {
+		exitCode = exitInterrupted
 	}
 }
 

@@ -22,9 +22,14 @@ type cliFlags struct {
 	simWorkers int
 	tcus       int
 	model      bool
+	coarse     bool
 	tracePath  string
 	utilSVG    string
 	traceEpoch uint64
+
+	checkpoint      string
+	checkpointEvery int
+	resume          string
 
 	serveObs         string
 	obsSnapshot      string
@@ -107,6 +112,17 @@ func validateFlags(f cliFlags) error {
 	if f.model && (f.faultNoCDrop > 0 || f.faultNoCCorrupt > 0 || f.faultDRAMBER > 0 ||
 		f.faultDRAMDBER > 0 || f.faultKill > 0 || f.watchdogWindow > 0) {
 		return fmt.Errorf("fault injection requires detailed simulation (drop -model)")
+	}
+	if f.checkpoint != "" || f.resume != "" {
+		if f.model {
+			return fmt.Errorf("-checkpoint and -resume require detailed simulation (drop -model)")
+		}
+		if f.coarse {
+			return fmt.Errorf("-checkpoint and -resume cover the fine-grained kernel only (drop -coarse)")
+		}
+	}
+	if f.checkpoint != "" && f.checkpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1 phase, got %d", f.checkpointEvery)
 	}
 	return nil
 }

@@ -1,0 +1,196 @@
+package core
+
+// Checkpointable execution of the fine-grained transform (internal/ckpt,
+// DESIGN.md §12). The transform's only quiescent points are phase
+// boundaries — between Spawns the machine has no in-flight section, and
+// the host-side ping-pong buffers plus the count of completed phases
+// fully determine the rest of the run: twiddle tables are pure functions
+// of (n, dir, granularity) and are rebuilt, not stored.
+
+import (
+	"fmt"
+
+	"xmtfft/internal/fft"
+	"xmtfft/internal/stats"
+	"xmtfft/internal/xmt"
+)
+
+// ResumeState is the serializable workload state at a phase boundary:
+// the two ping-pong buffers, how many phases completed, and the partial
+// timing record. Captured with ResumeSnapshot, applied via
+// RunControl.Resume.
+type ResumeState struct {
+	Dir        int // fft.Direction the run was started with
+	PhasesDone int
+	Data       []complex64 // t.Data at the boundary
+	Scratch    []complex64 // t.scratch at the boundary
+	Run        stats.Run   // phases completed so far
+}
+
+// RunControl parameterizes RunCheckpointed. The zero value runs the
+// transform start-to-finish, equivalent to Run.
+type RunControl struct {
+	// Resume, when non-nil, restores the workload state and skips the
+	// already-completed phases without re-simulating them.
+	Resume *ResumeState
+
+	// AfterPhase, when non-nil, is called after each simulated phase with
+	// the number of phases now complete and the partial timing record —
+	// the checkpoint hook. The machine is at a quiescent point for the
+	// duration of the call. A non-nil error aborts the run and is
+	// returned verbatim (the partial record is still returned), so a
+	// sentinel error can implement stop-and-checkpoint.
+	AfterPhase func(done int, partial *stats.Run) error
+}
+
+// NumPhases returns the total number of simulated phases Run executes
+// for this transform: per round, one twiddle init, one pass per radix,
+// and one twiddle decay between consecutive passes.
+func (t *Transform) NumPhases() (int, error) {
+	total := 0
+	dims := t.dims
+	for round := 0; round < t.rounds; round++ {
+		radices, err := t.radicesFor(dims[2])
+		if err != nil {
+			return 0, err
+		}
+		total += 1 + len(radices) + (len(radices) - 1)
+		dims = [3]int{dims[2], dims[0], dims[1]}
+	}
+	return total, nil
+}
+
+// ResumeSnapshot captures the workload state at a phase boundary (deep
+// copies — the caller may keep simulating). done is the number of
+// completed phases, partial the timing record so far.
+func (t *Transform) ResumeSnapshot(dir fft.Direction, done int, partial stats.Run) *ResumeState {
+	rs := &ResumeState{
+		Dir:        int(dir),
+		PhasesDone: done,
+		Data:       append([]complex64(nil), t.Data...),
+		Scratch:    append([]complex64(nil), t.scratch...),
+		Run:        partial,
+	}
+	rs.Run.Phases = append([]stats.Phase(nil), partial.Phases...)
+	return rs
+}
+
+// applyResume validates rs against this transform and direction and
+// restores the buffer contents.
+func (t *Transform) applyResume(dir fft.Direction, rs *ResumeState) error {
+	if rs.Dir != int(dir) {
+		return fmt.Errorf("core: resume direction mismatch (checkpoint %d, run %d)", rs.Dir, int(dir))
+	}
+	if len(rs.Data) != len(t.Data) || len(rs.Scratch) != len(t.scratch) {
+		return fmt.Errorf("core: resume buffer size mismatch (checkpoint %d/%d points, transform %d)",
+			len(rs.Data), len(rs.Scratch), t.N())
+	}
+	total, err := t.NumPhases()
+	if err != nil {
+		return err
+	}
+	if rs.PhasesDone < 0 || rs.PhasesDone > total {
+		return fmt.Errorf("core: resume at phase %d of %d", rs.PhasesDone, total)
+	}
+	if got := len(rs.Run.Phases); got != rs.PhasesDone {
+		return fmt.Errorf("core: resume record has %d phases for %d completed", got, rs.PhasesDone)
+	}
+	copy(t.Data, rs.Data)
+	copy(t.scratch, rs.Scratch)
+	return nil
+}
+
+// RunCheckpointed executes the transform like Run, with optional
+// resume-from-snapshot and a per-phase hook. Skipped phases perform no
+// simulation and touch no machine state: the host-side data movement
+// they would have done is already reflected in the restored buffers, so
+// a resumed run is bit-identical to an uninterrupted one.
+func (t *Transform) RunCheckpointed(dir fft.Direction, ctl RunControl) (stats.Run, error) {
+	run := stats.Run{Label: fmt.Sprintf("fft%dd %dx%dx%d", t.rounds, t.dims[0], t.dims[1], t.dims[2])}
+	skip := 0
+	if ctl.Resume != nil {
+		if err := t.applyResume(dir, ctl.Resume); err != nil {
+			return run, err
+		}
+		skip = ctl.Resume.PhasesDone
+		run.Phases = append(run.Phases, ctl.Resume.Run.Phases...)
+	}
+	dirIm := complex64(complex(0, float32(dir)))
+
+	cur, nxt := t.Data, t.scratch
+	curBase, nxtBase := t.baseA, t.baseB
+	dims := t.dims
+
+	phase := 0
+	// doPhase simulates one phase (unless it was already completed in the
+	// resumed-from run) and fires the checkpoint hook. The phase closure
+	// f is invoked synchronously, so capturing loop variables is safe.
+	doPhase := func(name string, f func() (xmt.SpawnResult, error)) error {
+		if phase < skip {
+			phase++
+			return nil
+		}
+		t.m.Section(name)
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		run.Phases = append(run.Phases, stats.Phase{
+			Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
+		phase++
+		if ctl.AfterPhase != nil {
+			return ctl.AfterPhase(phase, &run)
+		}
+		return nil
+	}
+
+	for round := 0; round < t.rounds; round++ {
+		n := dims[2]
+		radices, err := t.radicesFor(n)
+		if err != nil {
+			return run, err
+		}
+		table := newTwiddleTable(n, int(dir), t.twBase, t.m.Config().MemModules)
+
+		if err := doPhase(fmt.Sprintf("twiddle init r%d", round), func() (xmt.SpawnResult, error) {
+			return t.initTwiddle(table)
+		}); err != nil {
+			return run, err
+		}
+
+		s := 1
+		for p, r := range radices {
+			last := p == len(radices)-1 && !t.batch
+			name := fmt.Sprintf("fft r%d p%d", round, p)
+			if last {
+				name = fmt.Sprintf("rotate r%d", round)
+			}
+			if err := doPhase(name, func() (xmt.SpawnResult, error) {
+				return t.fftPass(cur, nxt, curBase, nxtBase, dims, s, r, last, table, dirIm)
+			}); err != nil {
+				return run, err
+			}
+
+			if p < len(radices)-1 {
+				if err := doPhase(fmt.Sprintf("twiddle decay r%d p%d", round, p), func() (xmt.SpawnResult, error) {
+					return t.decayTwiddle(table, s*r)
+				}); err != nil {
+					return run, err
+				}
+			}
+
+			s *= r
+			cur, nxt = nxt, cur
+			curBase, nxtBase = nxtBase, curBase
+		}
+		dims = [3]int{dims[2], dims[0], dims[1]}
+	}
+
+	// The result lives in whichever ping-pong buffer the last pass wrote.
+	// A production kernel would hand that buffer to the caller; we copy
+	// host-side (no simulated cost) so t.Data always holds the result.
+	if &cur[0] != &t.Data[0] {
+		copy(t.Data, cur)
+	}
+	return run, nil
+}

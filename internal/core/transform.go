@@ -120,70 +120,7 @@ func (t *Transform) Machine() *xmt.Machine { return t.m }
 // "rotate r<round>" for the fused FFT+rotation pass ending each round —
 // the two phase classes plotted in Fig. 3.
 func (t *Transform) Run(dir fft.Direction) (stats.Run, error) {
-	run := stats.Run{Label: fmt.Sprintf("fft%dd %dx%dx%d", t.rounds, t.dims[0], t.dims[1], t.dims[2])}
-	dirIm := complex64(complex(0, float32(dir)))
-
-	cur, nxt := t.Data, t.scratch
-	curBase, nxtBase := t.baseA, t.baseB
-	dims := t.dims
-
-	for round := 0; round < t.rounds; round++ {
-		n := dims[2]
-		radices, err := t.radicesFor(n)
-		if err != nil {
-			return run, err
-		}
-		table := newTwiddleTable(n, int(dir), t.twBase, t.m.Config().MemModules)
-
-		name := fmt.Sprintf("twiddle init r%d", round)
-		t.m.Section(name)
-		res, err := t.initTwiddle(table)
-		if err != nil {
-			return run, err
-		}
-		run.Phases = append(run.Phases, stats.Phase{
-			Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
-
-		s := 1
-		for p, r := range radices {
-			last := p == len(radices)-1 && !t.batch
-			name := fmt.Sprintf("fft r%d p%d", round, p)
-			if last {
-				name = fmt.Sprintf("rotate r%d", round)
-			}
-			t.m.Section(name)
-			res, err := t.fftPass(cur, nxt, curBase, nxtBase, dims, s, r, last, table, dirIm)
-			if err != nil {
-				return run, err
-			}
-			run.Phases = append(run.Phases, stats.Phase{
-				Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
-
-			if p < len(radices)-1 {
-				name := fmt.Sprintf("twiddle decay r%d p%d", round, p)
-				t.m.Section(name)
-				res, err := t.decayTwiddle(table, s*r)
-				if err != nil {
-					return run, err
-				}
-				run.Phases = append(run.Phases, stats.Phase{
-					Name: name, Cycles: res.Cycles(), Ops: res.Ops, Util: res.Util})
-			}
-
-			s *= r
-			cur, nxt = nxt, cur
-			curBase, nxtBase = nxtBase, curBase
-		}
-		dims = [3]int{dims[2], dims[0], dims[1]}
-	}
-
-	// The result lives in whichever ping-pong buffer the last pass wrote.
-	// A production kernel would hand that buffer to the caller; we copy
-	// host-side (no simulated cost) so t.Data always holds the result.
-	if &cur[0] != &t.Data[0] {
-		copy(t.Data, cur)
-	}
-	return run, nil
+	return t.RunCheckpointed(dir, RunControl{})
 }
 
 // initTwiddle builds all replicated copies of the table in simulated

@@ -71,6 +71,15 @@ func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// State returns the stream's position, for checkpointing. A stream
+// restored with SetState produces exactly the sequence the captured
+// stream would have — the property that makes mid-run checkpoints of
+// fault-injected simulations bit-identical to uninterrupted runs.
+func (s *Stream) State() uint64 { return s.state }
+
+// SetState restores a position captured by State.
+func (s *Stream) SetState(v uint64) { s.state = v }
+
 // Hit draws one Bernoulli outcome with probability p. It always
 // consumes exactly one value from the stream (even for p <= 0 or
 // p >= 1), so alternative protection settings see identical fault

@@ -48,5 +48,21 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 		os.Remove(name)
 		return fmt.Errorf("harness: atomic write of %s: %w", path, err)
 	}
+	syncDir(dir)
 	return nil
+}
+
+// syncDir fsyncs a directory so the rename that just landed in it is
+// durable: without it a crash can lose the directory entry even though
+// the file's blocks were synced. Best-effort — some platforms and
+// filesystems refuse to open or fsync directories (e.g. Windows), and a
+// failure there only weakens durability, never atomicity — so errors
+// are deliberately ignored.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }

@@ -80,6 +80,33 @@ func TestWriteFileAtomicInterrupted(t *testing.T) {
 	}
 }
 
+// TestSyncDirBestEffort covers the post-rename directory fsync: it must
+// be a silent no-op on an unopenable directory (durability is
+// best-effort, atomicity never depends on it), and a relative-path
+// write — where dir splits to "" and defaults to "." — must still
+// succeed end to end.
+func TestSyncDirBestEffort(t *testing.T) {
+	syncDir(filepath.Join(t.TempDir(), "does-not-exist")) // must not panic
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic("relative.json", func(w io.Writer) error {
+		_, werr := io.WriteString(w, `{"rel":true}`)
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile("relative.json"); string(got) != `{"rel":true}` {
+		t.Fatalf("relative atomic write: %q", got)
+	}
+}
+
 func TestWriteFileAtomicBadDirectory(t *testing.T) {
 	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "x.json"),
 		func(w io.Writer) error { return nil })

@@ -6,12 +6,14 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"text/tabwriter"
 
 	"xmtfft/internal/baseline"
+	"xmtfft/internal/ckpt"
 	"xmtfft/internal/config"
 	"xmtfft/internal/core"
 	"xmtfft/internal/fft"
@@ -427,6 +429,38 @@ func AblationReportTraceWorkers(w io.Writer, tcus, n int, epoch uint64, workers 
 // cumulative across the sweep) and each finished variant ticks one work
 // unit so /progress can show an ETA. A nil obs is the plain report.
 func AblationReportObs(w io.Writer, tcus, n int, epoch uint64, workers int, obs *Obs) (*trace.Recorder, error) {
+	return AblationReportCkpt(w, tcus, n, epoch, workers, obs, nil)
+}
+
+// AblationCkpt configures checkpoint/resume for an ablation sweep. The
+// sweep's quiescent points are variant boundaries — each variant builds
+// a fresh machine, so the checkpoint is meta-only: completed-variant
+// count and cycle counts, no machine or workload state.
+type AblationCkpt struct {
+	// Path is the checkpoint file written after each completed variant.
+	Path string
+	// Resume, when non-nil, is a previously written sweep checkpoint;
+	// completed variants are reprinted from it without re-simulating.
+	Resume *ckpt.Checkpoint
+	// Every is the number of variants between checkpoint writes (values
+	// below 1 mean every variant); a stop or the final variant always
+	// writes.
+	Every int
+	// Stop, when non-nil, is polled after each variant; returning true
+	// aborts the sweep (after writing the checkpoint) with ErrInterrupted.
+	Stop func() bool
+	// Obs, when non-nil, receives RecordCheckpoint for every write.
+	Obs *Obs
+}
+
+// ErrInterrupted reports a run stopped at a quiescent point by a signal
+// (SIGINT/SIGTERM): partial artifacts are flushed and, when configured,
+// a resumable checkpoint was written. CLIs map it to exit code 3.
+var ErrInterrupted = errors.New("harness: run interrupted by signal")
+
+// AblationReportCkpt is AblationReportObs with checkpoint/resume at
+// variant granularity (nil ck = plain report).
+func AblationReportCkpt(w io.Writer, tcus, n int, epoch uint64, workers int, obs *Obs, ck *AblationCkpt) (*trace.Recorder, error) {
 	cfg, err := config.FourK().Scaled(tcus)
 	if err != nil {
 		return nil, err
@@ -444,16 +478,77 @@ func AblationReportObs(w io.Writer, tcus, n int, epoch uint64, workers int, obs 
 		{"radix 8, coarse", 0, true, false},
 		{"radix 8, fine, prefetch", 0, false, true},
 	}
+
+	start := 0
+	var stageCycles []uint64
+	if ck != nil && ck.Resume != nil {
+		meta := ck.Resume.Meta
+		if meta.Config.Name != cfg.Name || meta.Dims != [3]int{n, n, n} {
+			return nil, fmt.Errorf("harness: ablation resume for %s %d^3, run is %s %d^3",
+				meta.Config.Name, meta.Dims[2], cfg.Name, n)
+		}
+		if meta.Stage < 0 || meta.Stage > len(variants) || len(meta.StageCycles) != meta.Stage {
+			return nil, fmt.Errorf("harness: ablation resume at variant %d with %d cycle records (sweep has %d variants)",
+				meta.Stage, len(meta.StageCycles), len(variants))
+		}
+		if (meta.Workers == 0) != (workers == 0) {
+			return nil, fmt.Errorf("harness: ablation resume: checkpoint captured with %d sim workers, run has %d (serial and sharded cycle counts differ)",
+				meta.Workers, workers)
+		}
+		start = meta.Stage
+		stageCycles = append(stageCycles, meta.StageCycles...)
+	}
+
 	total := n * n * n
 	t := tw(w)
 	fmt.Fprintf(t, "ABLATIONS (§IV-A design choices): %d^3 FFT on %s\n", n, cfg)
 	fmt.Fprintln(t, "variant\tcycles\tGFLOPS (5NlogN)\trelative time")
 	if obs != nil {
 		obs.SetWork(len(variants))
+		if start > 0 {
+			obs.AddWork(start)
+		}
 	}
+
+	writeCkpt := func(done int) error {
+		if ck == nil || ck.Path == "" {
+			return nil
+		}
+		c := &ckpt.Checkpoint{Meta: ckpt.Meta{
+			Config: cfg, Workers: workers,
+			DimCount: 3, Dims: [3]int{n, n, n},
+			Stage: done, StageCycles: stageCycles,
+			Cycle: stageCycles[done-1],
+			Note:  "ablation sweep progress (meta-only)",
+		}}
+		bytes, err := ckpt.Write(ck.Path, c)
+		if err != nil {
+			return err
+		}
+		if ck.Obs != nil {
+			ck.Obs.RecordCheckpoint(bytes, c.Meta.Cycle)
+		}
+		return nil
+	}
+
+	row := func(name string, cycles, base uint64) {
+		fmt.Fprintf(t, "%s\t%d\t%.2f\t%.2fx\n", name, cycles,
+			stats.StandardGFLOPS(total, cycles, config.ClockGHz),
+			float64(cycles)/float64(base))
+	}
+
 	var base uint64
+	// Reprint the resumed-from variants so the table is complete.
+	for vi := 0; vi < start; vi++ {
+		if base == 0 {
+			base = stageCycles[0]
+		}
+		row(variants[vi].name, stageCycles[vi], base)
+	}
+
 	var rec *trace.Recorder
-	for vi, v := range variants {
+	for vi := start; vi < len(variants); vi++ {
+		v := variants[vi]
 		m, err := newMachine(cfg, workers)
 		if err != nil {
 			return nil, err
@@ -493,13 +588,29 @@ func AblationReportObs(w io.Writer, tcus, n int, epoch uint64, workers int, obs 
 		if base == 0 {
 			base = cycles
 		}
+		stageCycles = append(stageCycles, cycles)
 		if obs != nil {
 			m.FlushLiveMetrics()
 			obs.AddWork(1)
 		}
-		fmt.Fprintf(t, "%s\t%d\t%.2f\t%.2fx\n", v.name, cycles,
-			stats.StandardGFLOPS(total, cycles, config.ClockGHz),
-			float64(cycles)/float64(base))
+		row(v.name, cycles, base)
+		done := vi + 1
+		stop := ck != nil && ck.Stop != nil && ck.Stop() && done < len(variants)
+		if ck != nil && ck.Path != "" {
+			every := ck.Every
+			if every < 1 {
+				every = 1
+			}
+			if stop || done == len(variants) || done%every == 0 {
+				if err := writeCkpt(done); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if stop {
+			t.Flush()
+			return rec, ErrInterrupted
+		}
 	}
 	return rec, t.Flush()
 }

@@ -54,6 +54,11 @@ type Obs struct {
 	workDoneG   *metrics.Gauge
 	workTotalG  *metrics.Gauge
 
+	// Checkpoint series, fed by RecordCheckpoint.
+	ckptWrites    *metrics.Counter
+	ckptBytes     *metrics.Counter
+	ckptLastCycle *metrics.Gauge
+
 	shardEvents  *metrics.CounterVec
 	shardCycle   *metrics.GaugeVec
 	shardPending *metrics.GaugeVec
@@ -102,6 +107,10 @@ func NewObs() *Obs {
 		workDoneG:   reg.Gauge("xmtfft_work_done", "Completed work units of the current job (e.g. ablation variants)."),
 		workTotalG:  reg.Gauge("xmtfft_work_units", "Total work units of the current job; 0 when unknown."),
 
+		ckptWrites:    reg.Counter("xmtfft_ckpt_writes", "Checkpoint files written by this run."),
+		ckptBytes:     reg.Counter("xmtfft_ckpt_bytes", "Total bytes of checkpoint data written by this run."),
+		ckptLastCycle: reg.Gauge("xmtfft_ckpt_last_cycle", "Simulated cycle of the most recent checkpoint (0 before the first)."),
+
 		shardEvents:  reg.CounterVec("xmtfft_sim_shard_events", "Events executed per engine shard (serial engine reports as shard 0).", "shard"),
 		shardCycle:   reg.GaugeVec("xmtfft_sim_shard_cycle", "Per-shard clock at last publish.", "shard"),
 		shardPending: reg.GaugeVec("xmtfft_sim_shard_pending_events", "Per-shard queued events at last publish.", "shard"),
@@ -137,6 +146,15 @@ func (o *Obs) AddWork(n int) {
 	o.mu.Lock()
 	o.workDone += n
 	o.mu.Unlock()
+}
+
+// RecordCheckpoint accounts one durable checkpoint write: size in bytes
+// and the simulated cycle it captured. Safe to call concurrently with
+// scrapes.
+func (o *Obs) RecordCheckpoint(bytes int64, cycle uint64) {
+	o.ckptWrites.Add(1)
+	o.ckptBytes.Add(uint64(bytes))
+	o.ckptLastCycle.SetUint(cycle)
 }
 
 // Refresh pulls the telemetry atomics into registry series and

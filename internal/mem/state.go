@@ -1,0 +1,158 @@
+package mem
+
+// Checkpoint state capture (internal/ckpt). The memory system's state is
+// the cache-slice contents (tags and LRU bookkeeping — data values live
+// host-side in this timing-directed model), the DRAM channels' port and
+// row-buffer state, all statistics counters, and the per-module fault
+// stream positions. Geometry (set count, associativity, channel wiring)
+// is configuration, rebuilt by NewSystem on restore, not state.
+
+import (
+	"fmt"
+
+	"xmtfft/internal/sim"
+)
+
+// LineState is one cache line's serializable state.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	Used  uint64
+}
+
+// ModuleState is one memory module's serializable state. Lines is
+// flattened set-major (set 0's ways first).
+type ModuleState struct {
+	Port    sim.PortState
+	Lines   []LineState
+	UseTick uint64
+
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	QueueDelay uint64
+	Prefetches uint64
+
+	FaultStream  uint64 // stream position; meaningful only when faulted
+	ECCCorrected uint64
+	ECCUncorrect uint64
+	SilentFaults uint64
+}
+
+// ChannelState is one DRAM channel's serializable state.
+type ChannelState struct {
+	Port    sim.PortState
+	OpenRow uint64
+	HasRow  bool
+
+	RowHits   uint64
+	RowMisses uint64
+	Bytes     uint64
+}
+
+// SystemState is the whole memory system's serializable state.
+type SystemState struct {
+	Prefetch bool
+	Faulted  bool
+	Modules  []ModuleState
+	Channels []ChannelState
+}
+
+// CaptureState captures the system's state. Safe only when the machine
+// is quiescent (no shard is touching modules), like the aggregate
+// statistics methods.
+func (s *System) CaptureState() SystemState {
+	st := SystemState{
+		Prefetch: s.Prefetch,
+		Faulted:  s.faulted,
+		Modules:  make([]ModuleState, len(s.modules)),
+		Channels: make([]ChannelState, len(s.channels)),
+	}
+	for i, m := range s.modules {
+		ms := ModuleState{
+			Port:         m.port.State(),
+			UseTick:      m.useTick,
+			Hits:         m.hits,
+			Misses:       m.misses,
+			Writebacks:   m.writebacks,
+			QueueDelay:   m.queueDelay,
+			Prefetches:   m.prefetches,
+			ECCCorrected: m.eccCorrected,
+			ECCUncorrect: m.eccUncorrect,
+			SilentFaults: m.silentFaults,
+		}
+		if m.faultStream != nil {
+			ms.FaultStream = m.faultStream.State()
+		}
+		for _, set := range m.sets {
+			for _, l := range set {
+				ms.Lines = append(ms.Lines, LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Used: l.used})
+			}
+		}
+		st.Modules[i] = ms
+	}
+	for i, ch := range s.channels {
+		st.Channels[i] = ChannelState{
+			Port:    ch.port.State(),
+			OpenRow: ch.openRow,
+			HasRow:  ch.hasRow,
+			RowHits: ch.RowHits, RowMisses: ch.RowMisses, Bytes: ch.Bytes,
+		}
+	}
+	return st
+}
+
+// RestoreState restores a captured state onto a system built from the
+// same configuration. If the captured run had DRAM fault injection
+// armed, the caller must have armed this system with the same plan
+// first (EnableFaults owns the rate parameters; this method restores
+// only the stream positions).
+func (s *System) RestoreState(st SystemState) error {
+	if len(st.Modules) != len(s.modules) {
+		return fmt.Errorf("mem: restore with %d module states onto %d modules", len(st.Modules), len(s.modules))
+	}
+	if len(st.Channels) != len(s.channels) {
+		return fmt.Errorf("mem: restore with %d channel states onto %d channels", len(st.Channels), len(s.channels))
+	}
+	if st.Faulted != s.faulted {
+		return fmt.Errorf("mem: restore fault-injection mismatch (checkpoint faulted=%v, system faulted=%v); arm EnableFaults with the captured plan before restoring", st.Faulted, s.faulted)
+	}
+	for i, m := range s.modules {
+		ms := &st.Modules[i]
+		want := 0
+		for _, set := range m.sets {
+			want += len(set)
+		}
+		if len(ms.Lines) != want {
+			return fmt.Errorf("mem: restore module %d with %d lines, geometry has %d", i, len(ms.Lines), want)
+		}
+	}
+	for i, m := range s.modules {
+		ms := &st.Modules[i]
+		m.port.RestoreState(ms.Port)
+		m.useTick = ms.UseTick
+		m.hits, m.misses, m.writebacks = ms.Hits, ms.Misses, ms.Writebacks
+		m.queueDelay, m.prefetches = ms.QueueDelay, ms.Prefetches
+		m.eccCorrected, m.eccUncorrect, m.silentFaults = ms.ECCCorrected, ms.ECCUncorrect, ms.SilentFaults
+		if m.faultStream != nil {
+			m.faultStream.SetState(ms.FaultStream)
+		}
+		k := 0
+		for si := range m.sets {
+			for li := range m.sets[si] {
+				l := ms.Lines[k]
+				m.sets[si][li] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, used: l.Used}
+				k++
+			}
+		}
+	}
+	for i, ch := range s.channels {
+		cs := &st.Channels[i]
+		ch.port.RestoreState(cs.Port)
+		ch.openRow, ch.hasRow = cs.OpenRow, cs.HasRow
+		ch.RowHits, ch.RowMisses, ch.Bytes = cs.RowHits, cs.RowMisses, cs.Bytes
+	}
+	s.Prefetch = st.Prefetch
+	return nil
+}

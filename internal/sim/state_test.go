@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineStateRoundTrip checks that clocks and counters survive a
+// capture/restore cycle and that the restored engine keeps scheduling
+// from the captured instant.
+func TestEngineStateRoundTrip(t *testing.T) {
+	e := New()
+	for i := uint64(1); i <= 5; i++ {
+		e.Schedule(i*10, func() {})
+	}
+	e.Run()
+
+	st, err := e.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Now != 50 || st.Processed != 5 {
+		t.Fatalf("captured state %+v", st)
+	}
+
+	fresh := New()
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Now() != 50 {
+		t.Fatalf("restored clock %d, want 50", fresh.Now())
+	}
+	ran := false
+	fresh.Schedule(7, func() { ran = true })
+	if end := fresh.Run(); end != 57 || !ran {
+		t.Fatalf("restored engine ran to %d (ran=%v), want 57", end, ran)
+	}
+	if fresh.Processed != 6 {
+		t.Fatalf("restored Processed = %d, want 6", fresh.Processed)
+	}
+}
+
+// TestCaptureRefusesPendingEvents pins the quiescence precondition:
+// pending events may hold closures, which cannot be serialized, so
+// capture and restore must both refuse a non-drained engine.
+func TestCaptureRefusesPendingEvents(t *testing.T) {
+	e := New()
+	e.Schedule(1, func() {})
+	if _, err := e.CaptureState(); err == nil {
+		t.Fatal("capture with a pending event succeeded")
+	} else if !strings.Contains(err.Error(), "quiescent") {
+		t.Fatalf("capture error %q does not name the quiescence precondition", err)
+	}
+	if err := e.RestoreState(EngineState{Now: 9}); err == nil {
+		t.Fatal("restore onto an engine with a pending event succeeded")
+	}
+}
+
+// countHandler is a minimal ShardHandler for state tests.
+type countHandler struct{ n *int }
+
+func (h countHandler) Event(sh *Shard, t uint64, op uint8, a, b uint64) { *h.n++ }
+
+// TestParallelCaptureRefusesPendingEvents does the same for the sharded
+// engine: any shard with queued work blocks capture, and a captured
+// state only restores onto an engine with the same shard count.
+func TestParallelCaptureRefusesPendingEvents(t *testing.T) {
+	build := func(shards int) *ParallelEngine {
+		e := NewParallelEngine(staticPartition{shards, 8}, 2)
+		n := 0
+		for i := 0; i < shards; i++ {
+			e.SetHandler(i, countHandler{&n})
+		}
+		return e
+	}
+	e := build(4)
+	e.Shard(2).At(5, 0, 0, 0)
+	if _, err := e.CaptureState(); err == nil {
+		t.Fatal("capture with a pending shard event succeeded")
+	}
+	e.Run()
+	st, err := e.CaptureState()
+	if err != nil {
+		t.Fatalf("capture after drain: %v", err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("captured %d shards, want 4", len(st.Shards))
+	}
+
+	if err := build(4).RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(3).RestoreState(st); err == nil {
+		t.Fatal("restore of a 4-shard state onto a 3-shard engine succeeded")
+	}
+}

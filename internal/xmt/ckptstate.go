@@ -1,0 +1,176 @@
+package xmt
+
+// Checkpoint state capture for the whole machine (internal/ckpt).
+// Capturable only at spawn boundaries — the machine's quiescent points,
+// where no parallel section is active, every engine queue is drained and
+// every shard is parked. At such a point a machine's future behaviour is
+// fully determined by the clocks, resource-port occupancy, counters,
+// memory/NoC state and fault-stream positions captured here; thread
+// programs and TCU scratch state are per-section and never cross a
+// boundary. See DESIGN.md §12.
+
+import (
+	"fmt"
+
+	"xmtfft/internal/mem"
+	"xmtfft/internal/noc"
+	"xmtfft/internal/sim"
+	"xmtfft/internal/stats"
+)
+
+// PortTriple is the serializable state of one cluster's shared
+// functional-unit ports.
+type PortTriple struct {
+	FPU sim.PortState
+	LSU sim.PortState
+	MDU sim.PortState
+}
+
+// ShardMachineState is one cluster-shard's serializable state (sharded
+// engine only).
+type ShardMachineState struct {
+	Ports    PortTriple
+	Counters stats.Counters
+}
+
+// MachineState is the complete serializable state of a quiescent
+// Machine. Exactly one of Serial/Parallel is non-nil, recording which
+// engine kind the capture came from; a sharded-engine state restores at
+// any worker count (per-shard state is worker-invariant) but never onto
+// the legacy serial engine, whose event interleaving differs.
+type MachineState struct {
+	Serial   *sim.EngineState
+	Parallel *sim.ParallelEngineState
+
+	Now      uint64              // machine clock (sharded: shardedMachine.now)
+	PSOps    uint64              // sharded coordinator's prefix-sum tally
+	Clusters []PortTriple        // serial engine: per-cluster ports
+	Shards   []ShardMachineState // sharded engine: per-shard ports+counters
+
+	Counters stats.Counters
+	Memory   mem.SystemState
+	Network  noc.State
+	Dead     []bool // fail-stopped clusters (nil = all alive)
+
+	// Watchdog state: window 0 means no watchdog was installed.
+	WatchdogWindow uint64
+	WatchdogLast   uint64
+}
+
+// CaptureState captures the machine's state at a spawn boundary. It
+// fails if a parallel section is active or the engine has pending
+// events (i.e. the machine is not at a quiescent point, e.g. after a
+// watchdog abort poisoned it).
+func (m *Machine) CaptureState() (*MachineState, error) {
+	if m.prog != nil || m.outstanding != 0 {
+		return nil, fmt.Errorf("xmt: capture while a parallel section is active")
+	}
+	st := &MachineState{Now: m.Now(), Counters: m.Counters}
+	if m.par != nil {
+		es, err := m.par.eng.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		st.Parallel = &es
+		st.PSOps = m.par.psOps
+		st.Shards = make([]ShardMachineState, len(m.par.shards))
+		for i, sh := range m.par.shards {
+			st.Shards[i] = ShardMachineState{
+				Ports:    PortTriple{FPU: sh.fpu.State(), LSU: sh.lsu.State(), MDU: sh.mdu.State()},
+				Counters: sh.counters,
+			}
+		}
+	} else {
+		es, err := m.engine.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		st.Serial = &es
+		st.Clusters = make([]PortTriple, len(m.clusters))
+		for i := range m.clusters {
+			c := &m.clusters[i]
+			st.Clusters[i] = PortTriple{FPU: c.fpu.State(), LSU: c.lsu.State(), MDU: c.mdu.State()}
+		}
+	}
+	st.Memory = m.memory.CaptureState()
+	ns, err := noc.CaptureState(m.network)
+	if err != nil {
+		return nil, err
+	}
+	st.Network = ns
+	if m.dead != nil {
+		st.Dead = append([]bool(nil), m.dead...)
+	}
+	if m.wd != nil {
+		st.WatchdogWindow = m.wd.Window
+		st.WatchdogLast = m.wd.LastProgress()
+	}
+	return st, nil
+}
+
+// RestoreState restores a captured state onto a freshly built machine of
+// the same configuration and engine kind. If the captured run had fault
+// injection armed, the caller must have armed this machine with the same
+// plan (EnableFaults) before restoring — the plan owns rates and
+// schedules; this method restores stream positions and tallies. A
+// captured watchdog is reinstalled with its progress mark (overriding
+// any watchdog the caller set).
+func (m *Machine) RestoreState(st *MachineState) error {
+	if m.prog != nil || m.outstanding != 0 {
+		return fmt.Errorf("xmt: restore while a parallel section is active")
+	}
+	if (st.Serial == nil) == (st.Parallel == nil) {
+		return fmt.Errorf("xmt: malformed machine state: exactly one engine state must be present")
+	}
+	if wantSerial := st.Serial != nil; wantSerial != (m.par == nil) {
+		return fmt.Errorf("xmt: engine kind mismatch (checkpoint serial=%v, machine serial=%v); resume legacy-engine checkpoints with workers 0 and sharded ones with workers >= 1",
+			wantSerial, m.par == nil)
+	}
+	if m.par != nil {
+		if len(st.Shards) != len(m.par.shards) {
+			return fmt.Errorf("xmt: restore with %d shard states onto %d shards", len(st.Shards), len(m.par.shards))
+		}
+		if err := m.par.eng.RestoreState(*st.Parallel); err != nil {
+			return err
+		}
+		m.par.now = st.Now
+		m.par.psOps = st.PSOps
+		for i, sh := range m.par.shards {
+			ss := &st.Shards[i]
+			sh.fpu.RestoreState(ss.Ports.FPU)
+			sh.lsu.RestoreState(ss.Ports.LSU)
+			sh.mdu.RestoreState(ss.Ports.MDU)
+			sh.counters = ss.Counters
+		}
+	} else {
+		if len(st.Clusters) != len(m.clusters) {
+			return fmt.Errorf("xmt: restore with %d cluster states onto %d clusters", len(st.Clusters), len(m.clusters))
+		}
+		if err := m.engine.RestoreState(*st.Serial); err != nil {
+			return err
+		}
+		for i := range m.clusters {
+			c := &m.clusters[i]
+			c.fpu.RestoreState(st.Clusters[i].FPU)
+			c.lsu.RestoreState(st.Clusters[i].LSU)
+			c.mdu.RestoreState(st.Clusters[i].MDU)
+		}
+	}
+	if err := m.memory.RestoreState(st.Memory); err != nil {
+		return err
+	}
+	if err := noc.RestoreState(m.network, st.Network); err != nil {
+		return err
+	}
+	m.Counters = st.Counters
+	if st.Dead != nil {
+		m.dead = append([]bool(nil), st.Dead...)
+	} else {
+		m.dead = nil
+	}
+	if st.WatchdogWindow > 0 {
+		m.SetWatchdog(st.WatchdogWindow)
+		m.wd.Progress(st.WatchdogLast)
+	}
+	return nil
+}

@@ -103,13 +103,18 @@ func (m *Machine) SetWatchdog(window uint64) {
 }
 
 // runGuarded invokes run, converting a watchdog abort (a typed panic
-// from the engines) into an ordinary error. Any other panic is re-raised.
-func runGuarded(run func()) (err error) {
+// from the engines) into an ordinary error. Any other panic is
+// re-raised. When an OnWatchdog callback is installed, it fires with the
+// error before runGuarded returns — the post-mortem hook.
+func (m *Machine) runGuarded(run func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			we, ok := r.(*sim.WatchdogError)
 			if !ok {
 				panic(r)
+			}
+			if m.onWatchdog != nil {
+				m.onWatchdog(we)
 			}
 			err = we
 		}
@@ -117,6 +122,14 @@ func runGuarded(run func()) (err error) {
 	run()
 	return nil
 }
+
+// OnWatchdog installs a callback fired when a livelock watchdog abort
+// unwinds (nil removes it), before the aborted Spawn returns the
+// *sim.WatchdogError. The machine is mid-section and poisoned at that
+// point — not at a quiescent point — so the callback must treat it as
+// read-only diagnostic state (e.g. write a post-mortem dump file); it
+// must not spawn, checkpoint machine state, or expect a later join.
+func (m *Machine) OnWatchdog(fn func(*sim.WatchdogError)) { m.onWatchdog = fn }
 
 // traverse sends one request packet, through the retransmit protocol
 // when NoC fault injection is armed. ok=false means the protocol gave

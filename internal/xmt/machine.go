@@ -101,6 +101,11 @@ type Machine struct {
 	rnet *noc.Reliable
 	wd   *sim.Watchdog
 	dead []bool
+
+	// onWatchdog, when non-nil, receives the *sim.WatchdogError as a
+	// watchdog abort unwinds, before Spawn returns it — the post-mortem
+	// hook (see OnWatchdog in fault.go).
+	onWatchdog func(*sim.WatchdogError)
 }
 
 // New builds a machine for cfg with a fresh memory system and network.
@@ -317,7 +322,7 @@ func (m *Machine) Spawn(n int, prog Program) (SpawnResult, error) {
 		m.nextTh++
 		m.engine.AtCall(begin, m, opStart, uint64(tcu), uint64(tid))
 	}
-	if err := runGuarded(func() { m.engine.Run() }); err != nil {
+	if err := m.runGuarded(func() { m.engine.Run() }); err != nil {
 		return SpawnResult{}, err
 	}
 

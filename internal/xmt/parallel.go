@@ -286,7 +286,7 @@ func (sm *shardedMachine) spawn(n int, prog Program) (SpawnResult, error) {
 		sh, local := sm.tcuOf(tcu)
 		sm.eng.Shard(sh.id).At(begin, sopStart, uint64(local), uint64(tid))
 	}
-	if err := runGuarded(func() { sm.eng.Run() }); err != nil {
+	if err := m.runGuarded(func() { sm.eng.Run() }); err != nil {
 		return SpawnResult{}, err
 	}
 
